@@ -1,0 +1,230 @@
+package wehey
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the DESIGN.md ablations. Each iteration regenerates the
+// corresponding result at a reduced trial count (use
+// cmd/wehey-experiments -full for paper-scale runs) and reports the
+// experiment's headline quantity as a custom metric so regressions in the
+// *result shape* — not just the runtime — are visible in benchmark diffs.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/experiments"
+)
+
+// benchCfg keeps iterations fast; the generators default their own trial
+// counts from this.
+func benchCfg() experiments.Config {
+	return experiments.Config{Trials: 2, Seed: 1}
+}
+
+// parsePct extracts a numeric percentage like "89.8%" from a table cell.
+func parsePct(cell string) (float64, bool) {
+	s := strings.TrimSuffix(strings.TrimSpace(cell), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// avgPctRow averages the numeric percentage cells of a row (skipping the
+// label column).
+func avgPctRow(row []string) float64 {
+	var sum float64
+	var n int
+	for _, c := range row[1:] {
+		if v, ok := parsePct(c); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func renderAndDiscard(r *experiments.Report) {
+	r.Render(io.Discard)
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(benchCfg())
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) > 0 {
+			row := r.Tables[0].Rows[0] // localization rate per ISP
+			if v, ok := parsePct(row[1]); ok {
+				b.ReportMetric(v, "ISP1-localized-%")
+			}
+			if v, ok := parsePct(row[len(row)-1]); ok {
+				b.ReportMetric(v, "ISP5-localized-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Table2(benchCfg()))
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchCfg())
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) > 0 {
+			row := r.Tables[0].Rows[0] // TCP FN per RTT2
+			if v, ok := parsePct(row[len(row)-1]); ok {
+				b.ReportMetric(v, "TCP-FN-at-120ms-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table4(benchCfg())
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) > 0 {
+			if v, ok := parsePct(r.Tables[0].Rows[0][len(r.Tables[0].Rows[0])-1]); ok {
+				b.ReportMetric(v, "UDP-FN-at-1.15-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table5(benchCfg())
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) > 0 {
+			b.ReportMetric(avgPctRow(append([]string{""}, r.Tables[0].Rows[0]...)), "avg-FP-%")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Figure2(benchCfg()))
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Figure3(benchCfg()))
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Figure4(benchCfg()))
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Figure5(benchCfg()))
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure6(cfg)
+		renderAndDiscard(r)
+		// Row 0 is tcpbulk/modified: FN of loss-trend then classic.
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) > 0 {
+			row := r.Tables[0].Rows[0]
+			if v, ok := parsePct(row[2]); ok {
+				b.ReportMetric(v, "TCP-FN-losstrend-%")
+			}
+			if v, ok := parsePct(row[3]); ok {
+				b.ReportMetric(v, "TCP-FN-classic-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.Figure7(benchCfg()))
+	}
+}
+
+func BenchmarkTopologyYield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.TopologyYield(benchCfg()))
+	}
+}
+
+func BenchmarkAblationCorrelation(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.AblationCorrelation(cfg))
+	}
+}
+
+func BenchmarkAblationIntervals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.AblationIntervals(benchCfg()))
+	}
+}
+
+func BenchmarkAblationVote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.AblationVote(benchCfg()))
+	}
+}
+
+func BenchmarkAblationMWU(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Duration = 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.AblationMWU(cfg))
+	}
+}
+
+func BenchmarkAblationPacing(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		renderAndDiscard(experiments.AblationPacing(cfg))
+	}
+}
+
+func BenchmarkExtensionPerFlow(b *testing.B) {
+	cfg := benchCfg() // default 30 s replays: the anti-correlation needs them
+	for i := 0; i < b.N; i++ {
+		r := experiments.ExtensionPerFlow(cfg)
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) >= 2 {
+			if v, ok := parsePct(r.Tables[0].Rows[1][2]); ok {
+				b.ReportMetric(v, "merged-sharedfate-%")
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionBBR(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		r := experiments.ExtensionBBR(cfg)
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) >= 2 {
+			if v, ok := parsePct(r.Tables[0].Rows[1][1]); ok {
+				b.ReportMetric(v, "BBR-FN-scenario-detect-%")
+			}
+		}
+	}
+}

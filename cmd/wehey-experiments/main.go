@@ -1,0 +1,63 @@
+// Command wehey-experiments regenerates the paper's tables and figures
+// (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	wehey-experiments -list
+//	wehey-experiments -run table1,figure6 -trials 5
+//	wehey-experiments -run all -full        # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		trials   = flag.Int("trials", 0, "trials per cell (0 = per-experiment default)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		full     = flag.Bool("full", false, "paper-scale trial counts (slow)")
+		duration = flag.Duration("duration", 0, "replay duration override (0 = per-experiment default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Trials:   *trials,
+		Seed:     *seed,
+		Full:     *full,
+		Duration: *duration,
+	}
+
+	start := time.Now()
+	if *run == "all" {
+		experiments.RunAll(os.Stdout, cfg)
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if err := experiments.Run(os.Stdout, name, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}

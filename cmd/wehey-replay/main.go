@@ -1,0 +1,235 @@
+// Command wehey-replay is the real-socket replay tool: a server that
+// pushes a trace's bytes over the reliable UDP transport (collecting the
+// §3.4 server-side loss measurements), a client that acknowledges and
+// bins WeHe throughput samples, and a demo mode that runs both through an
+// in-process differentiating middlebox.
+//
+// Usage:
+//
+//	wehey-replay -role demo -app netflix                   # all-in-one
+//	wehey-replay -role server -listen 127.0.0.1:9300 -app netflix -record p1.json
+//	wehey-replay -role client -server 127.0.0.1:9300
+//
+// Distributed simultaneous replay (§3.4): run two servers, then one client
+// that opens both paths back-to-back; each server persists its measurement
+// record, and wehey-analyze runs the detection offline:
+//
+//	wehey-replay -role server -listen :9301 -record p1.json &
+//	wehey-replay -role server -listen :9302 -record p2.json &
+//	wehey-replay -role client -server :9301 -server2 :9302
+//	... merge p1.json/p2.json into a session and run wehey-analyze
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/testbed"
+	"github.com/nal-epfl/wehey/internal/trace"
+	"github.com/nal-epfl/wehey/internal/transport"
+	"github.com/nal-epfl/wehey/internal/wehe"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "demo", "demo | server | client")
+		app      = flag.String("app", "netflix", "application trace to replay")
+		listen   = flag.String("listen", "127.0.0.1:9300", "server listen address")
+		server   = flag.String("server", "127.0.0.1:9300", "server address (client role)")
+		server2  = flag.String("server2", "", "second server for a simultaneous replay (client role)")
+		duration = flag.Duration("duration", 5*time.Second, "replay duration")
+		inverted = flag.Bool("inverted", false, "replay the bit-inverted trace")
+		rate     = flag.Float64("rate", 2e6, "demo middlebox throttling rate (bits/s)")
+		seed     = flag.Int64("seed", 1, "trace generation seed")
+		record   = flag.String("record", "", "write the server's measurement record JSON here")
+		pathName = flag.String("path", "p1", "path label for the measurement record")
+	)
+	flag.Parse()
+
+	tr, err := trace.Generate(*app, rand.New(rand.NewSource(*seed)), *duration+time.Second)
+	fatalIf(err)
+	if *inverted {
+		tr = trace.BitInvert(tr)
+	}
+
+	switch *role {
+	case "demo":
+		runDemo(tr, *app, *duration, *rate)
+	case "server":
+		runServer(*listen, tr, *duration, *record, *pathName)
+	case "client":
+		if *server2 != "" {
+			runSimClient([]string{*server, *server2}, *duration)
+		} else {
+			runClient(*server, *duration)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+func runDemo(tr *trace.Trace, app string, dur time.Duration, rate float64) {
+	mb := testbed.NewMiddlebox(testbed.MiddleboxConfig{
+		Delay: 5 * time.Millisecond,
+		SNIs:  testbed.SNIsForApps(app),
+		Rate:  rate,
+		Burst: 8000,
+	})
+	defer mb.Close()
+	inv := trace.BitInvert(tr)
+
+	orig, err := testbed.RunReliableReplay(context.Background(), mb, "orig", tr, dur, 1)
+	fatalIf(err)
+	ctrl, err := testbed.RunReliableReplay(context.Background(), mb, "inv", inv, dur, 2)
+	fatalIf(err)
+
+	fmt.Printf("original:     %6.2f Mbit/s (retrans %.1f%%)\n", orig.Throughput.Mean()/1e6, orig.RetransRate*100)
+	fmt.Printf("bit-inverted: %6.2f Mbit/s (retrans %.1f%%)\n", ctrl.Throughput.Mean()/1e6, ctrl.RetransRate*100)
+	det, err := wehe.DetectDifferentiation(orig.Throughput, ctrl.Throughput, wehe.DetectionConfig{})
+	fatalIf(err)
+	fmt.Printf("WeHe verdict: differentiation = %v (KS p = %.3g)\n", det.Differentiation, det.KS.P)
+}
+
+// runServer waits for a client hello, connects back, and pushes trace
+// bytes under congestion control for the duration.
+func runServer(listen string, tr *trace.Trace, dur time.Duration, record, pathName string) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	fatalIf(err)
+	ln, err := net.ListenUDP("udp", addr)
+	fatalIf(err)
+	fmt.Println("listening on", ln.LocalAddr())
+
+	buf := make([]byte, 2048)
+	var clientAddr *net.UDPAddr
+	for {
+		n, from, err := ln.ReadFromUDP(buf)
+		fatalIf(err)
+		if n > 0 {
+			clientAddr = from
+			break
+		}
+	}
+	ln.Close()
+	conn, err := net.DialUDP("udp", addr, clientAddr)
+	fatalIf(err)
+	defer conn.Close()
+	fmt.Println("client connected from", clientAddr)
+
+	var hello []byte
+	if len(tr.Packets) > 0 {
+		hello = tr.Packets[0].Payload
+	}
+	sender := transport.NewSender(conn, transport.SenderConfig{ConnID: 1, Hello: hello})
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	if err := sender.Transfer(ctx, 0); err != nil && err != context.DeadlineExceeded {
+		fatalIf(err)
+	}
+	min, avg := sender.MinAndAvgRTT()
+	fmt.Printf("sent %d packets, %d retransmissions (%.1f%%), RTT min/avg %v/%v, %d loss events\n",
+		sender.TxCount, sender.RtxCount, sender.RetransmissionRate()*100, min, avg, len(sender.LossLog))
+
+	if record != "" {
+		rtt := min
+		if rtt <= 0 {
+			rtt = 20 * time.Millisecond
+		}
+		m := sender.Measurements(dur, rtt)
+		rec := measure.NewRecord(pathName, &m, measure.Throughput{})
+		f, err := os.Create(record)
+		fatalIf(err)
+		fatalIf(measure.WriteSession(f, &measure.Session{Records: []*measure.Record{rec}}))
+		fatalIf(f.Close())
+		fmt.Println("measurement record →", record)
+	}
+}
+
+// runSimClient performs a simultaneous replay against two servers: it
+// opens both paths with back-to-back hellos (the §3.4 synchronization —
+// "the client simply tells the two servers to start via two commands sent
+// back-to-back") and acknowledges both replays concurrently.
+func runSimClient(servers []string, dur time.Duration) {
+	conns := make([]*net.UDPConn, len(servers))
+	receivers := make([]*transport.Receiver, len(servers))
+	for i, srv := range servers {
+		addr, err := net.ResolveUDPAddr("udp", srv)
+		fatalIf(err)
+		conn, err := net.DialUDP("udp", nil, addr)
+		fatalIf(err)
+		defer conn.Close()
+		conns[i] = conn
+		receivers[i] = transport.NewReceiver(conn)
+	}
+	// Back-to-back starts.
+	start := time.Now()
+	for i, conn := range conns {
+		hello := transport.HelloPacket(uint32(i + 1))
+		for k := 0; k < 3; k++ {
+			conn.Write(hello) //nolint:errcheck
+		}
+	}
+	fmt.Printf("both paths opened within %v\n", time.Since(start))
+
+	ctx, cancel := context.WithTimeout(context.Background(), dur+2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range receivers {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			receivers[i].Serve(ctx) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	for i, r := range receivers {
+		th := measure.WeHeThroughput(r.Deliveries(), 0, dur)
+		fmt.Printf("path p%d: %d bytes, mean %.2f Mbit/s\n", i+1, r.DeliveredBytes(), th.Mean()/1e6)
+	}
+}
+
+// runClient opens the path with hello datagrams, acknowledges data, and
+// prints WeHe throughput samples.
+func runClient(server string, dur time.Duration) {
+	addr, err := net.ResolveUDPAddr("udp", server)
+	fatalIf(err)
+	conn, err := net.DialUDP("udp", nil, addr)
+	fatalIf(err)
+	defer conn.Close()
+
+	hello := transport.HelloPacket(1)
+	for i := 0; i < 3; i++ {
+		conn.Write(hello) //nolint:errcheck
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	receiver := transport.NewReceiver(conn)
+	ctx, cancel := context.WithTimeout(context.Background(), dur+2*time.Second)
+	defer cancel()
+	fatalIfNot(receiver.Serve(ctx), context.DeadlineExceeded)
+
+	th := measure.WeHeThroughput(receiver.Deliveries(), 0, dur)
+	fmt.Printf("received %d bytes; mean throughput %.2f Mbit/s over %d intervals\n",
+		receiver.DeliveredBytes(), th.Mean()/1e6, len(th.Samples))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wehey-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func fatalIfNot(err, allowed error) {
+	if err != nil && err != allowed {
+		fatalIf(err)
+	}
+}

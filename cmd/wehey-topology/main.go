@@ -1,0 +1,104 @@
+// Command wehey-topology runs the topology-construction (TC) pipeline
+// (§3.3): it ingests a traceroute table (JSONL) and an annotation table
+// (JSON), applies the validity filters, and writes the topology database
+// that WeHeY clients query for suitable server pairs.
+//
+// Usage:
+//
+//	wehey-topology -synth -out ./tcdata          # generate a synthetic dataset + DB
+//	wehey-topology -traceroutes raws.jsonl -annotations ann.json -db topology.json
+//	wehey-topology -db topology.json -lookup 100.65.1.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"github.com/nal-epfl/wehey/internal/topology"
+)
+
+func main() {
+	var (
+		synth   = flag.Bool("synth", false, "generate a synthetic traceroute dataset first")
+		out     = flag.String("out", ".", "output directory for -synth")
+		rawsP   = flag.String("traceroutes", "", "traceroute table (JSONL)")
+		annP    = flag.String("annotations", "", "annotation table (JSON)")
+		dbP     = flag.String("db", "topology.json", "topology database path (output, or input for -lookup)")
+		lookup  = flag.String("lookup", "", "query the database for a client IP and exit")
+		seed    = flag.Int64("seed", 1, "seed for -synth")
+		verbose = flag.Bool("v", false, "print per-step statistics")
+	)
+	flag.Parse()
+
+	if *lookup != "" {
+		f, err := os.Open(*dbP)
+		fatalIf(err)
+		defer f.Close()
+		db, err := topology.ReadDBJSON(f)
+		fatalIf(err)
+		entry, ok := db.Lookup(*lookup)
+		if !ok || len(entry.Pairs) == 0 {
+			fmt.Printf("no suitable topology for %s\n", *lookup)
+			os.Exit(1)
+		}
+		fmt.Printf("prefix %s (AS%d): %d suitable server pair(s)\n", entry.Prefix, entry.ASN, len(entry.Pairs))
+		for _, p := range entry.Pairs {
+			fmt.Printf("  %s + %s (converge at %s)\n", p.Server1, p.Server2, p.ConvergeIP)
+		}
+		return
+	}
+
+	if *synth {
+		rng := rand.New(rand.NewSource(*seed))
+		net := topology.Synthesize(rng, topology.SynthSpec{})
+		*rawsP = filepath.Join(*out, "traceroutes.jsonl")
+		*annP = filepath.Join(*out, "annotations.json")
+		rf, err := os.Create(*rawsP)
+		fatalIf(err)
+		fatalIf(topology.WriteRawsJSONL(rf, net.Raws))
+		fatalIf(rf.Close())
+		af, err := os.Create(*annP)
+		fatalIf(err)
+		fatalIf(topology.WriteAnnotationsJSON(af, net.Annotations))
+		fatalIf(af.Close())
+		fmt.Printf("wrote %d traceroutes to %s and %d annotations to %s\n",
+			len(net.Raws), *rawsP, len(net.Annotations), *annP)
+	}
+
+	if *rawsP == "" || *annP == "" {
+		fmt.Fprintln(os.Stderr, "need -traceroutes and -annotations (or -synth)")
+		os.Exit(2)
+	}
+
+	rf, err := os.Open(*rawsP)
+	fatalIf(err)
+	raws, err := topology.ReadRawsJSONL(rf)
+	rf.Close()
+	fatalIf(err)
+	af, err := os.Open(*annP)
+	fatalIf(err)
+	ann, err := topology.ReadAnnotationsJSON(af)
+	af.Close()
+	fatalIf(err)
+
+	kept, discarded := topology.AnnotateAll(raws, ann)
+	if *verbose {
+		fmt.Printf("ingested %d traceroutes; kept %d, discarded %d\n", len(raws), len(kept), discarded)
+	}
+	db := topology.Construct(kept)
+	dbf, err := os.Create(*dbP)
+	fatalIf(err)
+	fatalIf(db.WriteJSON(dbf))
+	fatalIf(dbf.Close())
+	fmt.Printf("topology database: %d prefixes → %s\n", db.Len(), *dbP)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wehey-topology:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command wehey-trace generates, transforms, converts, and inspects the
+// replay traces WeHe/WeHeY ship between servers and clients.
+//
+// Usage:
+//
+//	wehey-trace -gen netflix -duration 10s -out netflix.whtr
+//	wehey-trace -in netflix.whtr -stats
+//	wehey-trace -in netflix.whtr -invert -out control.whtr
+//	wehey-trace -in zoom.whtr -poisson -extend 45s -out replay.whtr
+//	wehey-trace -in netflix.whtr -json -out netflix.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "generate a trace for this app (see -apps)")
+		apps     = flag.Bool("apps", false, "list known applications and exit")
+		in       = flag.String("in", "", "input trace (binary .whtr or .json)")
+		out      = flag.String("out", "", "output path (binary unless -json)")
+		duration = flag.Duration("duration", 10*time.Second, "generated trace duration")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		invert   = flag.Bool("invert", false, "bit-invert payloads (WeHe control)")
+		poisson  = flag.Bool("poisson", false, "Poisson-retime downstream packets (§3.4)")
+		extend   = flag.Duration("extend", 0, "extend by repetition to at least this duration")
+		asJSON   = flag.Bool("json", false, "write JSON instead of binary")
+		stats    = flag.Bool("stats", false, "print trace statistics")
+	)
+	flag.Parse()
+
+	if *apps {
+		for _, p := range trace.Profiles() {
+			fmt.Printf("%-12s %s  sni=%s\n", p.Name, p.Transport, p.SNI)
+		}
+		return
+	}
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *gen != "":
+		tr, err = trace.Generate(*gen, rand.New(rand.NewSource(*seed)), *duration)
+	case *in != "":
+		tr, err = readTrace(*in)
+	default:
+		fmt.Fprintln(os.Stderr, "need -gen or -in (or -apps)")
+		os.Exit(2)
+	}
+	fatalIf(err)
+
+	if *invert {
+		tr = trace.BitInvert(tr)
+	}
+	if *poisson {
+		tr = trace.PoissonRetime(rand.New(rand.NewSource(*seed+1)), tr)
+	}
+	if *extend > 0 {
+		tr = trace.ExtendTo(tr, *extend)
+	}
+
+	if *stats || *out == "" {
+		printStats(tr)
+	}
+	if *out != "" {
+		fatalIf(writeTrace(*out, tr, *asJSON))
+		fmt.Fprintf(os.Stderr, "wrote %s (%d packets)\n", *out, len(tr.Packets))
+	}
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return trace.ReadJSON(f)
+	}
+	return trace.Decode(f)
+}
+
+func writeTrace(path string, tr *trace.Trace, asJSON bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if asJSON || strings.HasSuffix(path, ".json") {
+		return trace.WriteJSON(f, tr)
+	}
+	return trace.Encode(f, tr)
+}
+
+func printStats(tr *trace.Trace) {
+	fmt.Printf("app:        %s (%s)\n", tr.App, tr.Transport)
+	if tr.SNI != "" {
+		fmt.Printf("sni:        %s\n", tr.SNI)
+	}
+	fmt.Printf("duration:   %v\n", tr.Duration().Round(time.Millisecond))
+	fmt.Printf("packets:    %d (s2c %d, c2s %d)\n",
+		len(tr.Packets), tr.Count(trace.ServerToClient), tr.Count(trace.ClientToServer))
+	fmt.Printf("bytes s2c:  %d (%.2f Mbit/s avg)\n",
+		tr.TotalBytes(trace.ServerToClient), tr.AvgRate(trace.ServerToClient)/1e6)
+	fmt.Printf("bytes c2s:  %d (%.2f Mbit/s avg)\n",
+		tr.TotalBytes(trace.ClientToServer), tr.AvgRate(trace.ClientToServer)/1e6)
+	if len(tr.Packets) > 0 {
+		if sni := trace.SNIFromPayload(tr.Packets[0].Payload); sni != "" {
+			fmt.Printf("dpi:        handshake exposes %q\n", sni)
+		} else {
+			fmt.Printf("dpi:        no matchable SNI in the handshake\n")
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wehey-trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,36 @@
+package wehey_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/nal-epfl/wehey"
+	"github.com/nal-epfl/wehey/internal/isp"
+	"github.com/nal-epfl/wehey/internal/wehe"
+)
+
+// Localize a per-client throttler on the simulator: the canonical WeHeY
+// flow — WeHe detection, simultaneous replays, confirmation, and the
+// common-bottleneck verdict.
+func ExampleLocalizer_Localize() {
+	rng := rand.New(rand.NewSource(42))
+	history := wehe.SynthHistory(rng, wehe.SynthHistorySpec{
+		Clients: 15, TestsPerClient: 9, Spread: 0.15,
+	})
+	localizer := &wehey.Localizer{Rand: rng, History: history}
+	session := wehey.NewSimSession(rng, isp.FiveISPs()[0], 20*time.Second)
+
+	verdict, err := localizer.Localize(session, localizer.TDiff("", "netflix", "carrier-1"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("detected:", verdict.WeHeDetected)
+	fmt.Println("localized:", verdict.LocalizedToISP)
+	fmt.Println("evidence:", verdict.Evidence)
+	// Output:
+	// detected: true
+	// localized: true
+	// evidence: per-client bottleneck
+}

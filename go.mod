@@ -1,0 +1,3 @@
+module github.com/nal-epfl/wehey
+
+go 1.22

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// Evidence classifies what the common-bottleneck detector found.
+type Evidence int
+
+const (
+	// EvidenceNone: no common bottleneck was detected; WeHeY cannot add
+	// information beyond WeHe's detection.
+	EvidenceNone Evidence = iota
+	// EvidencePerClient: the throughput comparison matched — the client's
+	// traffic traverses a dedicated bottleneck (per-client throttling).
+	EvidencePerClient
+	// EvidenceShared: the loss-trend correlation matched — the two paths
+	// share a bottleneck with other traffic (collective throttling).
+	EvidenceShared
+)
+
+// String names the evidence class.
+func (e Evidence) String() string {
+	switch e {
+	case EvidencePerClient:
+		return "per-client bottleneck"
+	case EvidenceShared:
+		return "shared bottleneck"
+	}
+	return "no evidence"
+}
+
+// Found reports whether any common bottleneck was detected.
+func (e Evidence) Found() bool { return e != EvidenceNone }
+
+// DetectorConfig bundles the two algorithms' configurations.
+type DetectorConfig struct {
+	Throughput ThroughputCmpConfig
+	LossTrend  LossTrendConfig
+}
+
+// DetectorInput carries everything operation (4) of §3.1 consumes.
+type DetectorInput struct {
+	// X holds the throughput samples of the original single replay on p0.
+	X []float64
+	// Y holds the summed throughput samples of the original simultaneous
+	// replay on p1 and p2.
+	Y []float64
+	// TDiff is the historical throughput-variation distribution for this
+	// client/app/carrier.
+	TDiff []float64
+	// M1, M2 are the packet-loss measurements of p1 and p2 during the
+	// original simultaneous replay.
+	M1, M2 *measure.Path
+}
+
+// DetectorResult reports the combined decision with both algorithms'
+// details (whichever ran).
+type DetectorResult struct {
+	Evidence   Evidence
+	Throughput *ThroughputCmpResult
+	LossTrend  *LossTrendResult
+}
+
+// DetectCommonBottleneck runs WeHeY's two detection algorithms in the
+// paper's order: first the throughput comparison (catches per-client
+// throttling); if it finds nothing, the loss-trend correlation (catches
+// collective throttling). Either algorithm may be skipped when its inputs
+// are absent (e.g. no historical T_diff data → loss-trend only).
+func DetectCommonBottleneck(rng *rand.Rand, in DetectorInput, cfg DetectorConfig) (DetectorResult, error) {
+	var res DetectorResult
+
+	if len(in.X) > 0 && len(in.Y) > 0 && len(in.TDiff) > 0 {
+		tc, err := ThroughputComparison(rng, in.X, in.Y, in.TDiff, cfg.Throughput)
+		if err != nil {
+			return res, err
+		}
+		res.Throughput = &tc
+		if tc.CommonBottleneck {
+			res.Evidence = EvidencePerClient
+			return res, nil
+		}
+	}
+
+	if in.M1 != nil && in.M2 != nil {
+		lt, err := LossTrendCorrelation(in.M1, in.M2, cfg.LossTrend)
+		if err != nil {
+			return res, err
+		}
+		res.LossTrend = &lt
+		if lt.CommonBottleneck {
+			res.Evidence = EvidenceShared
+			return res, nil
+		}
+	}
+	return res, nil
+}

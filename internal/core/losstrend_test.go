@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+func TestLossTrendDetectsCommonBottleneck(t *testing.T) {
+	// Pure common bottleneck: every seed must be detected (the paper's
+	// §6.2 result is FN = 0 under realistic conditions).
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 1})
+		res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CommonBottleneck {
+			t.Errorf("seed %d: common bottleneck missed (%d/%d sizes correlated)",
+				seed, res.Correlations, res.Sizes)
+		}
+	}
+}
+
+func TestLossTrendRejectsIndependentBottlenecks(t *testing.T) {
+	// Fully independent loss processes: the false-positive rate must stay
+	// near the configured 5% target. 40 seeds → expect ≤ ~4 positives.
+	positives := 0
+	const trials = 40
+	for seed := int64(100); seed < 100+trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 0})
+		res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CommonBottleneck {
+			positives++
+		}
+	}
+	if rate := float64(positives) / trials; rate > 0.125 {
+		t.Errorf("false-positive rate = %v, want ≲0.05", rate)
+	}
+}
+
+func TestLossTrendSweepStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 1})
+	res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes != 9 || len(res.PerSize) != 9 {
+		t.Fatalf("sweep sizes = %d, want 9 (10..50 step 5)", res.Sizes)
+	}
+	if res.PerSize[0].Sigma != 10*m1.RTT {
+		t.Errorf("first sigma = %v, want %v", res.PerSize[0].Sigma, 10*m1.RTT)
+	}
+	if res.PerSize[8].Sigma != 50*m1.RTT {
+		t.Errorf("last sigma = %v, want %v", res.PerSize[8].Sigma, 50*m1.RTT)
+	}
+	for _, v := range res.PerSize {
+		if v.P < 0 || v.P > 1 {
+			t.Errorf("σ=%v: p=%v out of range", v.Sigma, v.P)
+		}
+	}
+}
+
+func TestLossTrendVerdictRule(t *testing.T) {
+	// The decision rule is correlations > (1−FP)·|Σ|: with FP=0.05 and 9
+	// sizes, 8 correlated sizes are NOT enough (8 ≤ 8.55), 9 are.
+	rng := rand.New(rand.NewSource(2))
+	m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 1})
+	res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDecision := float64(res.Correlations) > 0.95*float64(res.Sizes)
+	if res.CommonBottleneck != wantDecision {
+		t.Errorf("decision %v inconsistent with rule (%d/%d)",
+			res.CommonBottleneck, res.Correlations, res.Sizes)
+	}
+}
+
+func TestLossTrendUsesLargerRTTForSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m1, m2 := measure.SynthPair(rng, measure.SynthSpec{
+		CommonWeight: 1,
+		RTT1:         35 * time.Millisecond,
+		RTT2:         120 * time.Millisecond,
+	})
+	res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.PerSize[0].Sigma, 10*120*time.Millisecond; got != want {
+		t.Errorf("sweep base = %v, want %v (max RTT)", got, want)
+	}
+}
+
+func TestLossTrendValidation(t *testing.T) {
+	good := &measure.Path{RTT: 35 * time.Millisecond, Duration: 45 * time.Second}
+	bad := &measure.Path{}
+	if _, err := LossTrendCorrelation(bad, good, LossTrendConfig{}); err == nil {
+		t.Error("invalid path 1 accepted")
+	}
+	if _, err := LossTrendCorrelation(good, bad, LossTrendConfig{}); err == nil {
+		t.Error("invalid path 2 accepted")
+	}
+}
+
+func TestLossTrendNoLossMeansNoEvidence(t *testing.T) {
+	// Lossless measurements: every interval is filtered out, nothing can
+	// correlate, verdict must be negative (not an error).
+	p := func() *measure.Path {
+		m := &measure.Path{RTT: 35 * time.Millisecond, Duration: 45 * time.Second}
+		for ts := time.Duration(0); ts < m.Duration; ts += 2 * time.Millisecond {
+			m.Tx = append(m.Tx, ts)
+		}
+		return m
+	}
+	res, err := LossTrendCorrelation(p(), p(), LossTrendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommonBottleneck {
+		t.Error("lossless measurements produced a positive verdict")
+	}
+}
+
+func TestLossTrendPearsonAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 1})
+	res, err := LossTrendCorrelation(m1, m2, LossTrendConfig{Correlation: PearsonCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pearson should also catch the clean pure-common case.
+	if !res.CommonBottleneck {
+		t.Errorf("Pearson variant missed pure common bottleneck (%d/%d)",
+			res.Correlations, res.Sizes)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// synthDeliveries builds per-interval delivery events whose rates follow
+// the given per-100ms series (Mbit/s).
+func synthDeliveries(rates []float64, pktBytes int) []measure.Delivery {
+	var out []measure.Delivery
+	const step = 100 * time.Millisecond
+	for i, r := range rates {
+		bytesPerStep := r * 1e6 / 8 * step.Seconds()
+		n := int(bytesPerStep / float64(pktBytes))
+		for j := 0; j < n; j++ {
+			at := time.Duration(i)*step + time.Duration(j)*step/time.Duration(n+1)
+			out = append(out, measure.Delivery{At: at, Bytes: pktBytes})
+		}
+	}
+	return out
+}
+
+func TestSharedFateDetectsComplementaryThroughput(t *testing.T) {
+	// Two sole tenants of a 4 Mbit/s bucket: complementary shares that
+	// wander, always summing to ≈4.
+	rng := rand.New(rand.NewSource(1))
+	const steps = 450 // 45 s at 100 ms
+	share := 0.5
+	r1 := make([]float64, steps)
+	r2 := make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		share += rng.NormFloat64() * 0.06
+		if share < 0.1 {
+			share = 0.1
+		}
+		if share > 0.9 {
+			share = 0.9
+		}
+		r1[i] = 4 * share
+		r2[i] = 4 * (1 - share)
+	}
+	d1 := synthDeliveries(r1, 1400)
+	d2 := synthDeliveries(r2, 1400)
+	res, err := SharedFateThroughput(d1, d2, 45*time.Second, 35*time.Millisecond, SharedFateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SharedBottleneck {
+		t.Errorf("complementary tenants not detected (%d/%d anti-correlated)",
+			res.Anticorrelations, res.Sizes)
+	}
+	if res.AggregateVariance > 0.05 {
+		t.Errorf("aggregate CV² = %v, want small (sum pinned at the rate)", res.AggregateVariance)
+	}
+}
+
+func TestSharedFateRejectsIndependentFlows(t *testing.T) {
+	// Two flows pinned at their own independent buckets: flat rates with
+	// independent noise.
+	positives := 0
+	const trials = 25
+	for seed := int64(10); seed < 10+trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const steps = 450
+		r1 := make([]float64, steps)
+		r2 := make([]float64, steps)
+		for i := 0; i < steps; i++ {
+			r1[i] = 3 * (1 + 0.08*rng.NormFloat64())
+			r2[i] = 3 * (1 + 0.08*rng.NormFloat64())
+		}
+		d1 := synthDeliveries(r1, 1400)
+		d2 := synthDeliveries(r2, 1400)
+		res, err := SharedFateThroughput(d1, d2, 45*time.Second, 35*time.Millisecond, SharedFateConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SharedBottleneck {
+			positives++
+		}
+	}
+	if float64(positives)/trials > 0.1 {
+		t.Errorf("independent flows flagged %d/%d times", positives, trials)
+	}
+}
+
+func TestSharedFateRejectsPositivelyCorrelatedFlows(t *testing.T) {
+	// Co-moving flows (the collective-throttling signature) must NOT look
+	// like shared fate — that is Alg. 1's territory.
+	rng := rand.New(rand.NewSource(3))
+	const steps = 450
+	r1 := make([]float64, steps)
+	r2 := make([]float64, steps)
+	level := 2.0
+	for i := 0; i < steps; i++ {
+		level += rng.NormFloat64() * 0.1
+		level = math.Max(0.5, math.Min(3.5, level))
+		r1[i] = level * (1 + 0.05*rng.NormFloat64())
+		r2[i] = level * (1 + 0.05*rng.NormFloat64())
+	}
+	res, err := SharedFateThroughput(synthDeliveries(r1, 1400), synthDeliveries(r2, 1400),
+		45*time.Second, 35*time.Millisecond, SharedFateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedBottleneck {
+		t.Error("positively co-moving flows flagged as shared fate")
+	}
+}
+
+func TestSharedFateValidation(t *testing.T) {
+	if _, err := SharedFateThroughput(nil, nil, 0, time.Millisecond, SharedFateConfig{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := SharedFateThroughput(nil, nil, time.Second, 0, SharedFateConfig{}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	// Empty deliveries: no admissible conclusion, not an error.
+	res, err := SharedFateThroughput(nil, nil, 45*time.Second, 35*time.Millisecond, SharedFateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedBottleneck {
+		t.Error("empty measurements produced a positive verdict")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nal-epfl/wehey/internal/stats"
+)
+
+// ThroughputCmpConfig parameterizes the throughput-comparison algorithm
+// (§4.1). The zero value uses the paper's settings.
+type ThroughputCmpConfig struct {
+	// Alpha is the MWU significance level (default 0.05).
+	Alpha float64
+	// Test selects the hypothesis test; the default is Mann-Whitney U.
+	// KS and Welch exist for the ablation study (the paper rejects the
+	// T-test for its distributional assumptions and KS for outlier
+	// sensitivity).
+	Test ThroughputTest
+}
+
+// ThroughputTest selects the statistic comparing O_diff against T_diff.
+type ThroughputTest int
+
+const (
+	// MWUTest is the paper's choice (Wilcoxon rank-sum).
+	MWUTest ThroughputTest = iota
+	// KSTest is the Kolmogorov-Smirnov alternative (ablation only).
+	KSTest
+	// WelchTest is a Welch-style t alternative (ablation only).
+	WelchTest
+)
+
+func (c *ThroughputCmpConfig) fill() {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.05
+	}
+}
+
+// ThroughputCmpResult is the outcome of the throughput comparison.
+type ThroughputCmpResult struct {
+	CommonBottleneck bool
+	P                float64
+	ODiff            []float64 // Monte-Carlo |relative mean difference| samples
+	TDiff            []float64 // historical |relative throughput variation|
+}
+
+// ThroughputComparison implements §4.1: it checks whether the throughput X
+// achieved by the single replay along p0 and the aggregate throughput Y of
+// the simultaneous replay along p1+p2 are close enough that their
+// difference is justifiable as normal throughput variation.
+//
+// O_diff is built by Monte-Carlo subsampling (random halves of X and Y,
+// |relative mean difference| per iteration, as many iterations as T_diff
+// has data points). T_diff is the empirical distribution of throughput
+// variation between repeated past WeHe tests of the same client, app, and
+// carrier. The one-sided Mann-Whitney U test then asks whether O_diff has
+// significantly smaller rank-sum than T_diff; p < Alpha means the
+// difference is within normal variation — a dedicated per-client common
+// bottleneck.
+//
+// Magnitudes: both distributions are compared on absolute values, matching
+// the paper's figures (rug plots on [0, ·)) and reported p-values; the sign
+// of a relative difference carries no evidence about bottleneck sharing.
+func ThroughputComparison(rng *rand.Rand, x, y, tdiff []float64, cfg ThroughputCmpConfig) (ThroughputCmpResult, error) {
+	cfg.fill()
+	if len(x) < 4 || len(y) < 4 {
+		return ThroughputCmpResult{}, fmt.Errorf("core: need ≥4 throughput samples per replay, have %d/%d", len(x), len(y))
+	}
+	if len(tdiff) < 8 {
+		return ThroughputCmpResult{}, fmt.Errorf("core: T_diff too small (%d); need historical test pairs", len(tdiff))
+	}
+	odiff := stats.ODiff(rng, x, y, len(tdiff))
+	oAbs := absAll(odiff)
+	tAbs := absAll(tdiff)
+
+	res := ThroughputCmpResult{ODiff: oAbs, TDiff: tAbs}
+	switch cfg.Test {
+	case KSTest:
+		ks, err := stats.KolmogorovSmirnov(oAbs, tAbs)
+		if err != nil {
+			return res, err
+		}
+		// KS is two-sided; require the O_diff mean to be on the small side.
+		res.P = ks.P
+		res.CommonBottleneck = ks.P < cfg.Alpha && stats.Mean(oAbs) < stats.Mean(tAbs)
+	case WelchTest:
+		p := welchLessP(oAbs, tAbs)
+		res.P = p
+		res.CommonBottleneck = p < cfg.Alpha
+	default:
+		mwu, err := stats.MannWhitneyU(oAbs, tAbs, stats.Less)
+		if err != nil {
+			return res, err
+		}
+		res.P = mwu.P
+		res.CommonBottleneck = mwu.P < cfg.Alpha
+	}
+	return res, nil
+}
+
+func absAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = math.Abs(v)
+	}
+	return out
+}
+
+// welchLessP is a one-sided Welch t-test p-value for mean(a) < mean(b).
+func welchLessP(a, b []float64) float64 {
+	na, nb := float64(len(a)), float64(len(b))
+	va, vb := stats.Variance(a)/na, stats.Variance(b)/nb
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		return 1
+	}
+	t := (stats.Mean(a) - stats.Mean(b)) / den
+	df := (va + vb) * (va + vb) / (va*va/(na-1) + vb*vb/(nb-1))
+	return stats.StudentTCDF(t, df)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// synthThroughput builds n samples around mean with multiplicative noise.
+func synthThroughput(rng *rand.Rand, n int, mean, noise float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean * (1 + rng.NormFloat64()*noise)
+	}
+	return out
+}
+
+// synthTDiff builds a historical variation distribution with relative
+// differences of typical magnitude spread (repeated WeHe tests vary by
+// ~5–30%).
+func synthTDiff(rng *rand.Rand, n int, spread float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * spread
+	}
+	return out
+}
+
+func TestThroughputComparisonPerClientScenario(t *testing.T) {
+	// X and Y nearly equal (both capped by the same dedicated policer):
+	// their difference is well within normal variation → common bottleneck.
+	rng := rand.New(rand.NewSource(1))
+	x := synthThroughput(rng, 100, 4e6, 0.03)
+	y := synthThroughput(rng, 100, 4e6, 0.03)
+	tdiff := synthTDiff(rng, 200, 0.12)
+	res, err := ThroughputComparison(rng, x, y, tdiff, ThroughputCmpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CommonBottleneck {
+		t.Errorf("per-client scenario missed: p = %v", res.P)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v, want strongly significant", res.P)
+	}
+	if len(res.ODiff) != len(res.TDiff) {
+		t.Errorf("O_diff size %d != T_diff size %d", len(res.ODiff), len(res.TDiff))
+	}
+}
+
+func TestThroughputComparisonAlternativeScenario(t *testing.T) {
+	// Y is double X (the two simultaneous replays grabbed two shares of a
+	// shared bottleneck): the difference exceeds normal variation.
+	rng := rand.New(rand.NewSource(2))
+	x := synthThroughput(rng, 100, 2e6, 0.05)
+	y := synthThroughput(rng, 100, 4e6, 0.05)
+	tdiff := synthTDiff(rng, 200, 0.12)
+	res, err := ThroughputComparison(rng, x, y, tdiff, ThroughputCmpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommonBottleneck {
+		t.Errorf("alternative scenario false positive: p = %v", res.P)
+	}
+	if res.P < 0.5 {
+		t.Errorf("p = %v, want clearly insignificant", res.P)
+	}
+}
+
+func TestThroughputComparisonSanityCheckScenario(t *testing.T) {
+	// Table 1's sanity check: a third replay shares the per-client
+	// bottleneck, so Y (p1+p2 only) falls well short of X.
+	rng := rand.New(rand.NewSource(3))
+	x := synthThroughput(rng, 100, 4e6, 0.03)
+	y := synthThroughput(rng, 100, 4e6*2/3, 0.03)
+	tdiff := synthTDiff(rng, 200, 0.1)
+	res, err := ThroughputComparison(rng, x, y, tdiff, ThroughputCmpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommonBottleneck {
+		t.Error("sanity-check scenario must not report a common bottleneck")
+	}
+}
+
+func TestThroughputComparisonInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ok := synthThroughput(rng, 50, 1e6, 0.1)
+	tdiff := synthTDiff(rng, 100, 0.1)
+	if _, err := ThroughputComparison(rng, ok[:2], ok, tdiff, ThroughputCmpConfig{}); err == nil {
+		t.Error("tiny X accepted")
+	}
+	if _, err := ThroughputComparison(rng, ok, ok[:3], tdiff, ThroughputCmpConfig{}); err == nil {
+		t.Error("tiny Y accepted")
+	}
+	if _, err := ThroughputComparison(rng, ok, ok, tdiff[:4], ThroughputCmpConfig{}); err == nil {
+		t.Error("tiny T_diff accepted")
+	}
+}
+
+func TestThroughputComparisonAlternativeTests(t *testing.T) {
+	// The KS and Welch ablation variants should agree on the two clear-cut
+	// scenarios.
+	for _, test := range []ThroughputTest{KSTest, WelchTest} {
+		rng := rand.New(rand.NewSource(5))
+		x := synthThroughput(rng, 100, 4e6, 0.03)
+		yEq := synthThroughput(rng, 100, 4e6, 0.03)
+		yFar := synthThroughput(rng, 100, 8e6, 0.03)
+		tdiff := synthTDiff(rng, 200, 0.12)
+		cfg := ThroughputCmpConfig{Test: test}
+		eq, err := ThroughputComparison(rng, x, yEq, tdiff, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq.CommonBottleneck {
+			t.Errorf("test %v: per-client scenario missed", test)
+		}
+		far, err := ThroughputComparison(rng, x, yFar, tdiff, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if far.CommonBottleneck {
+			t.Errorf("test %v: alternative scenario false positive", test)
+		}
+	}
+}
+
+func TestDetectCommonBottleneckOrderAndFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := synthThroughput(rng, 100, 4e6, 0.03)
+	yEq := synthThroughput(rng, 100, 4e6, 0.03)
+	yFar := synthThroughput(rng, 100, 8e6, 0.03)
+	tdiff := synthTDiff(rng, 200, 0.12)
+	m1, m2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 1})
+
+	// Per-client match short-circuits before the loss-trend algorithm.
+	res, err := DetectCommonBottleneck(rng, DetectorInput{X: x, Y: yEq, TDiff: tdiff, M1: m1, M2: m2}, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evidence != EvidencePerClient {
+		t.Errorf("evidence = %v, want per-client", res.Evidence)
+	}
+	if res.LossTrend != nil {
+		t.Error("loss-trend ran despite per-client match")
+	}
+
+	// Throughput mismatch falls through to loss-trend, which matches.
+	res, err = DetectCommonBottleneck(rng, DetectorInput{X: x, Y: yFar, TDiff: tdiff, M1: m1, M2: m2}, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evidence != EvidenceShared {
+		t.Errorf("evidence = %v, want shared", res.Evidence)
+	}
+	if res.Throughput == nil || res.LossTrend == nil {
+		t.Error("both algorithms should have run")
+	}
+
+	// Nothing matches → no evidence.
+	mi1, mi2 := measure.SynthPair(rng, measure.SynthSpec{CommonWeight: 0})
+	res, err = DetectCommonBottleneck(rng, DetectorInput{X: x, Y: yFar, TDiff: tdiff, M1: mi1, M2: mi2}, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evidence.Found() {
+		t.Errorf("evidence = %v, want none", res.Evidence)
+	}
+
+	// Missing T_diff skips throughput comparison entirely.
+	res, err = DetectCommonBottleneck(rng, DetectorInput{M1: m1, M2: m2}, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != nil {
+		t.Error("throughput comparison ran without T_diff")
+	}
+	if res.Evidence != EvidenceShared {
+		t.Errorf("evidence = %v, want shared via loss-trend", res.Evidence)
+	}
+}
+
+func TestEvidenceStrings(t *testing.T) {
+	if EvidenceNone.String() != "no evidence" || EvidenceNone.Found() {
+		t.Error("EvidenceNone")
+	}
+	if EvidencePerClient.String() != "per-client bottleneck" || !EvidencePerClient.Found() {
+		t.Error("EvidencePerClient")
+	}
+	if EvidenceShared.String() != "shared bottleneck" || !EvidenceShared.Found() {
+		t.Error("EvidenceShared")
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/core"
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/netsim"
+)
+
+// perFlowRun executes one simultaneous replay against per-flow throttling.
+// merged presents both replays as one flow signature (the §7 trace
+// modification); placement selects the shared device (common) vs the FP
+// control (independent identical devices on the non-common links).
+func perFlowRun(seed int64, merged bool, placement LimiterPlacement, dur time.Duration) (m1, m2 measure.Path, d1, d2 []measure.Delivery) {
+	var eng netsim.Engine
+	const (
+		rtt1      = 35 * time.Millisecond
+		rtt2      = 42 * time.Millisecond // real paths are never twins
+		rate      = 3e6                   // the per-flow plan rate
+		replayApp = 6e6                   // replays offer more than the bucket allows
+	)
+	lim := &netsim.LimiterSpec{Rate: rate, Burst: netsim.BurstForRTT(rate, rtt2), Queue: netsim.BurstForRTT(rate, rtt2) / 2}
+
+	common := netsim.CommonSpec{}
+	paths := []netsim.PathSpec{{RTT: rtt1}, {RTT: rtt2}}
+	if placement == LimiterCommon {
+		common.PerFlowLimiter = lim
+	} else {
+		for i := range paths {
+			paths[i].PerFlowLimiter = lim
+		}
+	}
+	sc := netsim.NewScenario(&eng, seed, common, paths...)
+
+	flows := [2]*netsim.TCPFlow{}
+	for i := 0; i < 2; i++ {
+		cfg := netsim.TCPConfig{
+			Pacing:  true,
+			Class:   netsim.ClassDifferentiated,
+			AppRate: replayApp,
+			Stop:    dur,
+		}
+		if merged {
+			cfg.PolicyKey = "merged" // both replays present one flow signature
+		}
+		f := netsim.NewTCPFlow(&eng, i+1, cfg, sc.Entry(i), sc.BackDelay(i))
+		flows[i] = f
+		sc.Register(i+1, f.Receiver())
+		// Staggered starts, as the client's back-to-back commands give.
+		f.Start(time.Duration(i) * 120 * time.Millisecond)
+	}
+	eng.Run(dur + 2*time.Second)
+
+	m1 = flows[0].Measurements(0, dur, rtt1)
+	m2 = flows[1].Measurements(0, dur, rtt2)
+	d1 = flows[0].Deliveries(0)
+	d2 = flows[1].Deliveries(0)
+	return m1, m2, d1, d2
+}
+
+// ExtensionPerFlow evaluates the §7 per-flow-throttling extension:
+//
+//   - baseline: per-flow policer on l_c, replays unmodified — WeHeY's
+//     loss-trend correlation cannot find the (real) differentiation; this
+//     is the §3.2 limitation, not a bug;
+//   - extension: replays modified to share one flow signature — they
+//     become the sole tenants of one bucket; the shared-fate detector
+//     reads the resulting anti-correlated throughput as evidence;
+//   - FP control: the same merged replays against *independent* identical
+//     per-flow policers on l_1/l_2 — the shared-fate detector must stay
+//     quiet.
+func ExtensionPerFlow(cfg Config) *Report {
+	cfg.fill()
+	trials := cfg.trials(4, 16)
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 30 * time.Second
+	}
+
+	type row struct {
+		name                 string
+		merged               bool
+		placement            LimiterPlacement
+		lossTrend, sharedFat int
+		runs                 int
+	}
+	rows := []*row{
+		{name: "per-flow policer, unmodified replays", merged: false, placement: LimiterCommon},
+		{name: "per-flow policer, merged replays (§7)", merged: true, placement: LimiterCommon},
+		{name: "independent per-flow policers, merged (FP control)", merged: true, placement: LimiterNonCommon},
+	}
+	seed := cfg.Seed + 8000
+	for _, r := range rows {
+		for i := 0; i < trials; i++ {
+			seed++
+			m1, m2, d1, d2 := perFlowRun(seed, r.merged, r.placement, dur)
+			r.runs++
+			if lt, err := core.LossTrendCorrelation(&m1, &m2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
+				r.lossTrend++
+			}
+			if sf, err := core.SharedFateThroughput(d1, d2, dur, 42*time.Millisecond, core.SharedFateConfig{}); err == nil && sf.SharedBottleneck {
+				r.sharedFat++
+			}
+		}
+	}
+
+	report := &Report{
+		ID:    "extension-perflow",
+		Title: "§7 extension: localizing per-flow throttling via merged replays + shared-fate detection",
+		Paper: "§3.2/§7: base WeHeY cannot localize per-flow throttling; merging the replays' flow identity makes them sole tenants of one bucket, requiring \"different statistical tools\"",
+	}
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{
+			r.name,
+			pct(r.lossTrend, r.runs),
+			pct(r.sharedFat, r.runs),
+			fmt.Sprintf("%d", r.runs),
+		})
+	}
+	report.Tables = []Table{{
+		Header: []string{"scenario", "loss-trend detects", "shared-fate detects", "runs"},
+		Rows:   tr,
+	}}
+	report.Notes = append(report.Notes,
+		"expected shape: row 1 ≈ 0/0 (the documented limitation); row 2 shared-fate ≈ 100%; row 3 ≈ 0 (FP control)")
+	return report
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strconv"
+	"time"
+)
+
+// Grid encodes Table 2, the parameter grid of the emulation/simulation
+// experiments. Bold (default) values first.
+type Grid struct {
+	InputFactors      []float64       // input traffic / rate
+	QueueFactors      []float64       // queue size / burst
+	BgShares          []float64       // % of background directed to limiter
+	CongestionFactors []float64       // input traffic / link bandwidth
+	RTT1s             []time.Duration // path 1 RTTs
+	RTT2s             []time.Duration // path 2 RTTs
+	UDPApps           []string
+}
+
+// DefaultGrid returns Table 2.
+func DefaultGrid() Grid {
+	return Grid{
+		InputFactors:      []float64{1.5, 1.3, 2, 2.5},
+		QueueFactors:      []float64{0.5, 0.25, 1},
+		BgShares:          []float64{0.5, 0.25, 0.75},
+		CongestionFactors: []float64{0.95, 1.05, 1.15},
+		RTT1s:             []time.Duration{35 * time.Millisecond, 10 * time.Millisecond},
+		RTT2s: []time.Duration{
+			35 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond,
+			25 * time.Millisecond, 60 * time.Millisecond, 120 * time.Millisecond,
+		},
+		UDPApps: []string{"skype", "whatsapp", "msteams", "zoom", "webex"},
+	}
+}
+
+// AllApps returns the six trace pairs of §6.2 (one TCP + five UDP).
+func (g Grid) AllApps() []string {
+	return append([]string{TCPBulkApp}, g.UDPApps...)
+}
+
+// Table2 renders the parameter grid itself (the paper's Table 2 is a
+// configuration table, not a measurement).
+func Table2(cfg Config) *Report {
+	g := DefaultGrid()
+	r := &Report{
+		ID:    "table2",
+		Title: "Parameters for emulation/simulation experiments (defaults first)",
+		Paper: "Table 2 lists the same ranges; bold defaults: input/rate 1.5, queue 0.5×burst, 50% background, RTTs 35 ms",
+	}
+	rows := [][]string{
+		{"input/rate", fmtFloats(g.InputFactors)},
+		{"queue (×burst)", fmtFloats(g.QueueFactors)},
+		{"% of background", fmtFloats(g.BgShares)},
+		{"input/link bandwidth", fmtFloats(g.CongestionFactors)},
+		{"RTT1", fmtDurs(g.RTT1s)},
+		{"RTT2", fmtDurs(g.RTT2s)},
+		{"UDP trace pairs", joinStrings(g.UDPApps)},
+		{"TCP trace pair", TCPBulkApp},
+	}
+	r.Tables = []Table{{Header: []string{"parameter", "values"}, Rows: rows}}
+	return r
+}
+
+func fmtFloats(xs []float64) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return out
+}
+
+func fmtDurs(ds []time.Duration) string {
+	out := ""
+	for i, d := range ds {
+		if i > 0 {
+			out += ", "
+		}
+		out += fms(d)
+	}
+	return out
+}
+
+func joinStrings(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

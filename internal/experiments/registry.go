@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Generator produces one experiment's report.
+type Generator func(Config) *Report
+
+// registry maps experiment IDs to their generators.
+var registry = map[string]Generator{
+	"table1":               Table1,
+	"table2":               Table2,
+	"table3":               Table3,
+	"table4":               Table4,
+	"table5":               Table5,
+	"figure2":              Figure2,
+	"figure3":              Figure3,
+	"figure4":              Figure4,
+	"figure5":              Figure5,
+	"figure6":              Figure6,
+	"figure7":              Figure7,
+	"topoyield":            TopologyYield,
+	"extension-perflow":    ExtensionPerFlow,
+	"extension-bbr":        ExtensionBBR,
+	"ablation-correlation": AblationCorrelation,
+	"ablation-intervals":   AblationIntervals,
+	"ablation-vote":        AblationVote,
+	"ablation-mwu":         AblationMWU,
+	"ablation-pacing":      AblationPacing,
+}
+
+// Names returns the registered experiment IDs, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the generator for an experiment ID.
+func Lookup(name string) (Generator, bool) {
+	g, ok := registry[name]
+	return g, ok
+}
+
+// Run generates and renders one experiment.
+func Run(w io.Writer, name string, cfg Config) error {
+	g, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	g(cfg).Render(w)
+	return nil
+}
+
+// RunAll generates and renders every registered experiment.
+func RunAll(w io.Writer, cfg Config) {
+	for _, name := range Names() {
+		g, _ := Lookup(name)
+		g(cfg).Render(w)
+		fmt.Fprintln(w)
+	}
+}

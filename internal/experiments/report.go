@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is the rendered outcome of one experiment: the rows/series the
+// corresponding paper table/figure presents, plus the paper's numbers for
+// side-by-side comparison.
+type Report struct {
+	ID    string // e.g. "table1"
+	Title string
+	// Paper summarizes what the paper reports for this table/figure.
+	Paper  string
+	Tables []Table
+	Series []Series
+	Notes  []string
+}
+
+// Table is one printable table.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Series is one printable data series (a figure's curve or scatter).
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Render writes the report as aligned text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", r.Paper)
+	}
+	for i := range r.Tables {
+		fmt.Fprintln(w)
+		r.Tables[i].render(w)
+	}
+	for i := range r.Series {
+		fmt.Fprintln(w)
+		r.Series[i].render(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func (t *Table) render(w io.Writer) {
+	if t.Name != "" {
+		fmt.Fprintf(w, "-- %s --\n", t.Name)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// render prints the series as a compact two-column listing plus a crude
+// text sparkline for quick visual inspection.
+func (s *Series) render(w io.Writer) {
+	fmt.Fprintf(w, "-- series: %s (%s vs %s, %d points) --\n", s.Name, s.YLabel, s.XLabel, len(s.Y))
+	fmt.Fprintf(w, "%s\n", sparkline(s.Y, 80))
+	n := len(s.Y)
+	step := 1
+	if n > 12 {
+		step = n / 12
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(w, "  %-12.4g %.4g\n", s.X[i], s.Y[i])
+	}
+}
+
+// sparkline draws ys as a unicode block-character strip of at most width
+// cells.
+func sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return "(empty)"
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample by averaging buckets.
+	n := len(ys)
+	if width > n {
+		width = n
+	}
+	agg := make([]float64, width)
+	for i := range agg {
+		lo, hi := i*n/width, (i+1)*n/width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range ys[lo:hi] {
+			sum += v
+		}
+		agg[i] = sum / float64(hi-lo)
+	}
+	minV, maxV := agg[0], agg[0]
+	for _, v := range agg {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	var b strings.Builder
+	for _, v := range agg {
+		idx := 0
+		if span > 0 {
+			idx = int((v - minV) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// Config tunes experiment scale. The zero value gives quick defaults;
+// Full approximates the paper's scale.
+type Config struct {
+	// Trials is the number of runs per cell (0 = per-experiment default).
+	Trials int
+	// Seed is the base seed (default 1).
+	Seed int64
+	// Duration overrides the replay duration.
+	Duration time.Duration
+	// Full selects paper-scale trial counts.
+	Full bool
+}
+
+func (c *Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// trials picks the trial count: explicit > full-scale > quick default.
+func (c *Config) trials(quick, full int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Full {
+		return full
+	}
+	return quick
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func fms(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

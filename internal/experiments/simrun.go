@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 Table 1, Figures 2–7, Tables 3–5, and the §3.3 topology
+// yield statistics), plus the ablation studies DESIGN.md calls out. Each
+// experiment returns a Report that renders the same rows/series the paper
+// presents; the benchmark harness in the repository root wraps them one
+// bench per table/figure.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/netsim"
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// LimiterPlacement selects where the rate limiter(s) sit in the Figure-1
+// topology.
+type LimiterPlacement int
+
+const (
+	// LimiterCommon places one limiter on the common link sequence l_c
+	// (the FN experiments: a common bottleneck exists).
+	LimiterCommon LimiterPlacement = iota
+	// LimiterNonCommon places two identically configured limiters on l_1
+	// and l_2 (the FP experiments: no common bottleneck exists).
+	LimiterNonCommon
+)
+
+// SimSpec is one §6-style simulation experiment: a simultaneous replay of
+// a trace pair through the Figure-1 topology with configured throttling.
+type SimSpec struct {
+	// App names the trace pair ("tcpbulk" for the TCP pair, or one of the
+	// five UDP applications).
+	App string
+	// InputFactor is offered/rate at the limiter (Table 2: 1.3–2.5).
+	InputFactor float64
+	// QueueFactor sizes the TBF queue in bursts (Table 2: 0.25, 0.5, 1;
+	// default 0.5, the bold value).
+	QueueFactor float64
+	// BgShare is the fraction of the background aggregate directed to the
+	// limiter (Table 2: 25–75%).
+	BgShare float64
+	// BgAggregate is the total background rate the share is taken from
+	// (the scaled-down CAIDA stand-in; default 32 Mbit/s).
+	BgAggregate float64
+	// RTT1, RTT2 are the two paths' base RTTs (default 35 ms — the
+	// baseline of §6.3 and Tables 3–4, and close to the real RTTs of the
+	// §6.2 wide-area testbed).
+	RTT1, RTT2 time.Duration
+	// Placement selects FN (common) vs FP (non-common) topologies.
+	Placement LimiterPlacement
+	// CongestionFactor, when positive, additionally congests the
+	// non-common links: (replay+bg)/linkRate = CongestionFactor
+	// (Table 4: 0.95, 1.05, 1.15).
+	CongestionFactor float64
+	// Duration of the replay (default 45 s, the paper's minimum).
+	Duration time.Duration
+	// Unmodified replays the traces without WeHeY's modifications
+	// (no TCP pacing / no Poisson retiming) — the Figure 6 ablation.
+	Unmodified bool
+	// BBR runs the TCP replays under the BBR controller instead of Reno
+	// (the §7 open question; see extension-bbr).
+	BBR bool
+	// Seed drives all randomness of this run.
+	Seed int64
+}
+
+func (s *SimSpec) fill() {
+	if s.InputFactor <= 0 {
+		s.InputFactor = 1.5
+	}
+	if s.QueueFactor <= 0 {
+		s.QueueFactor = 0.5
+	}
+	if s.BgShare <= 0 {
+		s.BgShare = 0.5
+	}
+	if s.BgAggregate <= 0 {
+		s.BgAggregate = 32e6
+	}
+	if s.RTT1 <= 0 {
+		s.RTT1 = 35 * time.Millisecond
+	}
+	if s.RTT2 <= 0 {
+		s.RTT2 = 35 * time.Millisecond
+	}
+	if s.Duration <= 0 {
+		s.Duration = 45 * time.Second
+	}
+}
+
+// TCPBulkApp is the SimSpec.App value selecting the TCP trace pair.
+const TCPBulkApp = "tcpbulk"
+
+// tcpReplayRate is the app rate of the TCP video replay (bits/s).
+const tcpReplayRate = 4e6
+
+// SimResult carries one experiment's measurements and summary metrics.
+type SimResult struct {
+	M1, M2      measure.Path
+	RetransRate [2]float64       // TCP only
+	QueueDelay  [2]time.Duration // avg−min RTT (TCP); TBF ground truth (UDP)
+	LossRate    [2]float64
+	// Throughput per path (WeHe 100-interval bins), for detection
+	// accounting.
+	Tput [2]measure.Throughput
+	// GroundTruthDrops per location name.
+	Drops map[string]int
+}
+
+// RunSim executes the simultaneous replay described by spec and returns
+// the measurements Alg. 1 and the tomography baselines consume.
+func RunSim(spec SimSpec) SimResult {
+	spec.fill()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var eng netsim.Engine
+
+	maxRTT := spec.RTT1
+	if spec.RTT2 > maxRTT {
+		maxRTT = spec.RTT2
+	}
+
+	// Replay rates.
+	var replayRate float64
+	var udpTraces [2]*trace.Trace
+	isTCP := spec.App == TCPBulkApp
+	if isTCP {
+		replayRate = tcpReplayRate
+	} else {
+		for i := 0; i < 2; i++ {
+			tr, err := trace.Generate(spec.App, rand.New(rand.NewSource(spec.Seed+int64(i))), 12*time.Second)
+			if err != nil {
+				panic(err) // unknown app: programmer error in the harness
+			}
+			tr = trace.ExtendTo(tr, spec.Duration)
+			if !spec.Unmodified {
+				tr = trace.PoissonRetime(rand.New(rand.NewSource(spec.Seed+100+int64(i))), tr)
+			}
+			udpTraces[i] = tr
+		}
+		replayRate = udpTraces[0].AvgRate(trace.ServerToClient)
+	}
+
+	// Background mix standing in for the CAIDA replay: the directed share
+	// bgDiff splits into elastic TCP flows ("other users" of the throttled
+	// service, replayed closed-loop as the paper replays CAIDA TCP
+	// payloads from the application layer) and a rate-modulated open-loop
+	// component whose variation drives the loss-rate trends.
+	bgDiff := spec.BgShare * spec.BgAggregate
+	openLoopBg := 0.5 * bgDiff
+	elasticBg := bgDiff - openLoopBg
+
+	common := netsim.CommonSpec{}
+	paths := []netsim.PathSpec{
+		{RTT: spec.RTT1},
+		{RTT: spec.RTT2},
+	}
+
+	// InputFactor → bottleneck utilization. The paper's input/rate factor
+	// describes the *natural* (pre-adaptation) input of a mostly TCP mix;
+	// its realized average loss sits far below the open-loop 1−1/factor
+	// (Fig. 3 targets ≈4% average loss). Our background keeps offering at
+	// its natural rate (churn arrivals don't slow down), so applying the
+	// factor directly would overshoot the paper's loss levels several-fold.
+	// The affine map below lands the realized loss in the paper's range:
+	// 1.3→mild (~2–4%), 2.5→severe (~15–25%).
+	util := 0.8 + 0.2*spec.InputFactor
+	switch spec.Placement {
+	case LimiterNonCommon:
+		// Identical limiters on l_1 and l_2, each fed by its own
+		// independent background of the same composition.
+		offered := replayRate + bgDiff
+		rate := offered / util
+		burst := netsim.BurstForRTT(rate, maxRTT)
+		for i := range paths {
+			paths[i].Limiter = &netsim.LimiterSpec{
+				Rate: rate, Burst: burst, Queue: int(spec.QueueFactor * float64(burst)),
+			}
+			paths[i].BgRate = openLoopBg
+			paths[i].BgDiffFraction = 1
+			paths[i].BgModPeriod = 1500 * time.Millisecond
+			paths[i].BgModSpread = 0.9
+		}
+	default: // LimiterCommon
+		offered := 2*replayRate + bgDiff
+		rate := offered / util
+		burst := netsim.BurstForRTT(rate, maxRTT)
+		common.Limiter = &netsim.LimiterSpec{
+			Rate: rate, Burst: burst, Queue: int(spec.QueueFactor * float64(burst)),
+		}
+		common.BgRate = openLoopBg
+		common.BgDiffFraction = 1
+		common.BgModPeriod = 1500 * time.Millisecond
+		common.BgModSpread = 0.9
+		// The elastic background flows reach l_c over their own paths
+		// (other users converge at the shared bottleneck from elsewhere).
+		paths = append(paths,
+			netsim.PathSpec{RTT: 30 * time.Millisecond},
+			netsim.PathSpec{RTT: 70 * time.Millisecond},
+		)
+	}
+
+	// Congestion on the non-common links (Table 4): size each link so the
+	// crossing traffic slightly exceeds (or approaches) its bandwidth.
+	if spec.CongestionFactor > 0 {
+		const crossBgRate = 6e6
+		for i := range paths[:2] {
+			// Steady class-default cross traffic congests the non-common
+			// link; the knob is the link's sustained utilization
+			// input/bandwidth. (Volatile or heavy-tailed cross traffic
+			// would create strong *independent* loss trends on l_1/l_2 and
+			// overstate the FN rate relative to the paper's setup.)
+			paths[i].BgRate += crossBgRate
+			if paths[i].BgDiffFraction == 1 {
+				paths[i].BgDiffFraction = bgDiff / (bgDiff + crossBgRate)
+			}
+			paths[i].BgModPeriod = 2 * time.Second
+			paths[i].BgModSpread = 0.25
+			paths[i].Rate = (replayRate + paths[i].BgRate) / spec.CongestionFactor
+		}
+	}
+
+	sc := netsim.NewScenario(&eng, spec.Seed, common, paths...)
+
+	// Elastic background: churning TCP flows (Poisson arrivals, bounded
+	// Pareto sizes) — the flow-population variation is the primary source
+	// of loss-rate trends at the bottleneck.
+	var churnPaths []int
+	if spec.Placement == LimiterNonCommon {
+		churnPaths = []int{0, 1} // share the replay paths' limiters
+	} else {
+		churnPaths = []int{2, 3} // dedicated background paths into l_c
+	}
+	churn := netsim.NewChurn(&eng, netsim.ChurnConfig{
+		MeanRate: elasticBg,
+		Class:    netsim.ClassDifferentiated,
+		Stop:     spec.Duration,
+	}, rand.New(rand.NewSource(spec.Seed+999)), sc, churnPaths)
+	churn.Start(0)
+
+	res := SimResult{}
+	if isTCP {
+		flows := [2]*netsim.TCPFlow{}
+		for i := 0; i < 2; i++ {
+			cfg := netsim.TCPConfig{
+				Pacing:  !spec.Unmodified,
+				Class:   netsim.ClassDifferentiated,
+				AppRate: replayRate,
+				Stop:    spec.Duration,
+			}
+			if spec.BBR {
+				cfg.CC = netsim.BBR
+			}
+			f := netsim.NewTCPFlow(&eng, i+1, cfg, sc.Entry(i), sc.BackDelay(i))
+			flows[i] = f
+			sc.Register(i+1, f.Receiver())
+			f.Start(0)
+		}
+		sc.StartBackground(0, spec.Duration)
+		eng.Run(spec.Duration + 2*time.Second)
+		ms := [2]measure.Path{}
+		for i, f := range flows {
+			ms[i] = f.Measurements(0, spec.Duration, sc.RTT(i))
+			res.RetransRate[i] = f.RetransmissionRate()
+			res.QueueDelay[i] = f.AvgQueuingDelay()
+			res.LossRate[i] = f.RetransmissionRate()
+			res.Tput[i] = measure.WeHeThroughput(f.Deliveries(0), 0, spec.Duration)
+		}
+		res.M1, res.M2 = ms[0], ms[1]
+	} else {
+		flows := [2]*netsim.UDPFlow{}
+		for i := 0; i < 2; i++ {
+			f := netsim.NewUDPFlow(&eng, i+1, netsim.ClassDifferentiated, sc.Entry(i))
+			flows[i] = f
+			sc.Register(i+1, f.Receiver())
+			f.Start(udpTraces[i], 0)
+		}
+		sc.StartBackground(0, spec.Duration)
+		eng.Run(spec.Duration + 2*time.Second)
+		ms := [2]measure.Path{}
+		for i, f := range flows {
+			f.Finish(spec.Duration)
+			ms[i] = f.Measurements(0, spec.Duration, sc.RTT(i))
+			res.LossRate[i] = f.LossRate()
+			res.Tput[i] = measure.WeHeThroughput(f.Deliveries(0), 0, spec.Duration)
+		}
+		res.M1, res.M2 = ms[0], ms[1]
+	}
+	res.Drops = sc.DropLog
+	_ = rng
+	return res
+}

@@ -1,0 +1,115 @@
+package measure
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Record is the on-disk form of one replay's measurements: what a WeHeY
+// server would persist after a simultaneous replay, and what offline
+// analysis (cmd/wehey-analyze) consumes.
+type Record struct {
+	// Path labels which path the record belongs to ("p0", "p1", "p2").
+	Path string `json:"path"`
+	// RTTMs is the path's base RTT in milliseconds.
+	RTTMs float64 `json:"rtt_ms"`
+	// DurationMs is the replay duration in milliseconds.
+	DurationMs float64 `json:"duration_ms"`
+	// TxMs are packet transmission times (ms since replay start).
+	TxMs []float64 `json:"tx_ms"`
+	// LossMs are loss-event registration times (ms since replay start).
+	LossMs []float64 `json:"loss_ms"`
+	// ThroughputBps are per-interval throughput samples in bits/s
+	// (typically WeHe's 100 intervals).
+	ThroughputBps []float64 `json:"throughput_bps,omitempty"`
+}
+
+// ToPath converts the record to the in-memory measurement type.
+func (r *Record) ToPath() (*Path, error) {
+	if r.DurationMs <= 0 || r.RTTMs <= 0 {
+		return nil, errors.New("measure: record needs positive rtt_ms and duration_ms")
+	}
+	p := &Path{
+		RTT:      time.Duration(r.RTTMs * float64(time.Millisecond)),
+		Duration: time.Duration(r.DurationMs * float64(time.Millisecond)),
+	}
+	p.Tx = msToDurations(r.TxMs)
+	p.Loss = msToDurations(r.LossMs)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewRecord builds a record from a measurement path and its throughput
+// samples.
+func NewRecord(pathName string, p *Path, tput Throughput) *Record {
+	return &Record{
+		Path:          pathName,
+		RTTMs:         float64(p.RTT) / float64(time.Millisecond),
+		DurationMs:    float64(p.Duration) / float64(time.Millisecond),
+		TxMs:          durationsToMs(p.Tx),
+		LossMs:        durationsToMs(p.Loss),
+		ThroughputBps: append([]float64(nil), tput.Samples...),
+	}
+}
+
+func msToDurations(ms []float64) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, v := range ms {
+		out[i] = time.Duration(v * float64(time.Millisecond))
+	}
+	return out
+}
+
+func durationsToMs(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Session is a full localization test's worth of records plus the T_diff
+// distribution in effect.
+type Session struct {
+	// Client/App/Carrier identify the test.
+	Client  string `json:"client,omitempty"`
+	App     string `json:"app,omitempty"`
+	Carrier string `json:"carrier,omitempty"`
+	// Records holds p0 (single original), p1 and p2 (simultaneous
+	// original); the bit-inverted controls may be included with "-inv"
+	// suffixed path names.
+	Records []*Record `json:"records"`
+	// TDiff is the historical throughput-variation distribution.
+	TDiff []float64 `json:"tdiff,omitempty"`
+}
+
+// Find returns the record with the given path label.
+func (s *Session) Find(path string) (*Record, bool) {
+	for _, r := range s.Records {
+		if r.Path == path {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// WriteSession encodes a session as indented JSON.
+func WriteSession(w io.Writer, s *Session) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSession decodes a session written by WriteSession.
+func ReadSession(r io.Reader) (*Session, error) {
+	var s Session
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("measure: session: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	p := &Path{
+		RTT:      35 * time.Millisecond,
+		Duration: 45 * time.Second,
+		Tx:       []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond},
+		Loss:     []time.Duration{15 * time.Millisecond},
+	}
+	tput := Throughput{Samples: []float64{1e6, 2e6}}
+	rec := NewRecord("p1", p, tput)
+	if rec.RTTMs != 35 || rec.DurationMs != 45000 {
+		t.Fatalf("header: %+v", rec)
+	}
+	back, err := rec.ToPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RTT != p.RTT || back.Duration != p.Duration {
+		t.Error("rtt/duration mismatch")
+	}
+	if len(back.Tx) != 3 || back.Tx[1] != 10*time.Millisecond {
+		t.Errorf("tx: %v", back.Tx)
+	}
+	if len(back.Loss) != 1 || back.Loss[0] != 15*time.Millisecond {
+		t.Errorf("loss: %v", back.Loss)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	bad := &Record{Path: "p1"} // missing rtt/duration
+	if _, err := bad.ToPath(); err == nil {
+		t.Error("invalid record accepted")
+	}
+	inconsistent := &Record{Path: "p1", RTTMs: 30, DurationMs: 1000,
+		TxMs: []float64{1}, LossMs: []float64{1, 2}}
+	if _, err := inconsistent.ToPath(); err == nil {
+		t.Error("more losses than tx accepted")
+	}
+}
+
+func TestSessionRoundTripAndFind(t *testing.T) {
+	p := &Path{RTT: 30 * time.Millisecond, Duration: time.Second,
+		Tx: []time.Duration{0, time.Millisecond}}
+	s := &Session{
+		Client: "c", App: "netflix", Carrier: "x",
+		TDiff: []float64{0.1, -0.2},
+		Records: []*Record{
+			NewRecord("p1", p, Throughput{}),
+			NewRecord("p2", p, Throughput{}),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSession(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "netflix" || len(got.Records) != 2 || len(got.TDiff) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, ok := got.Find("p1"); !ok {
+		t.Error("Find(p1) failed")
+	}
+	if _, ok := got.Find("p9"); ok {
+		t.Error("Find(p9) succeeded")
+	}
+	if _, err := ReadSession(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage session accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package measure
+
+import "time"
+
+// MinPacketsPerInterval is the default minimum number of transmitted
+// packets a path needs in an interval for the interval's loss rate to be
+// meaningful (Alg. 1 line 4 uses 10).
+const MinPacketsPerInterval = 10
+
+// FilteredLossRates implements the CreateTimeSeries step shared by Alg. 1
+// and the tomography baselines (Algs. 2–4): it divides time into intervals
+// of size sigma, computes each path's per-interval loss rate, and discards
+// intervals where one or both paths transmitted fewer than minPkts packets
+// or where neither path lost anything.
+//
+// The two returned series are aligned: element i of both corresponds to the
+// same retained interval.
+func FilteredLossRates(m1, m2 *Path, sigma time.Duration, minPkts int) (r1, r2 []float64) {
+	if minPkts <= 0 {
+		minPkts = MinPacketsPerInterval
+	}
+	dur := m1.Duration
+	if m2.Duration > dur {
+		dur = m2.Duration
+	}
+	s1 := m1.Bin(sigma, dur)
+	s2 := m2.Bin(sigma, dur)
+	n := len(s1.Txed)
+	if len(s2.Txed) < n {
+		n = len(s2.Txed)
+	}
+	for t := 0; t < n; t++ {
+		if s1.Txed[t] < minPkts || s2.Txed[t] < minPkts {
+			continue
+		}
+		if s1.Lost[t] == 0 && s2.Lost[t] == 0 {
+			continue
+		}
+		r1 = append(r1, lossRate(s1.Lost[t], s1.Txed[t]))
+		r2 = append(r2, lossRate(s2.Lost[t], s2.Txed[t]))
+	}
+	return r1, r2
+}
+
+func lossRate(lost, txed int) float64 {
+	if txed == 0 {
+		return 0
+	}
+	r := float64(lost) / float64(txed)
+	if r > 1 {
+		// Registered losses can exceed transmissions within one interval
+		// (registration lags transmission); clamp for sanity.
+		r = 1
+	}
+	return r
+}
+
+// IntervalSweep returns the interval sizes Alg. 1 and Alg. 4 iterate over:
+// multiples of the larger of the two paths' RTTs, from loRTTs to hiRTTs in
+// steps of stepRTTs (the paper uses 10–50 RTTs).
+func IntervalSweep(rtt time.Duration, loRTTs, hiRTTs, stepRTTs int) []time.Duration {
+	if loRTTs <= 0 {
+		loRTTs = 10
+	}
+	if hiRTTs < loRTTs {
+		hiRTTs = loRTTs
+	}
+	if stepRTTs <= 0 {
+		stepRTTs = 5
+	}
+	var out []time.Duration
+	for k := loRTTs; k <= hiRTTs; k += stepRTTs {
+		out = append(out, time.Duration(k)*rtt)
+	}
+	return out
+}
+
+// MaxRTT returns the larger of the two paths' RTTs.
+func MaxRTT(m1, m2 *Path) time.Duration {
+	if m1.RTT > m2.RTT {
+		return m1.RTT
+	}
+	return m2.RTT
+}

@@ -1,0 +1,115 @@
+package measure
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SynthSpec describes a synthetic pair of path measurements with a
+// controllable correlation structure. It exists for tests and benchmarks of
+// the detection algorithms: a common bottleneck manifests as a shared
+// time-varying loss intensity; independent bottlenecks as per-path
+// intensities (§4.2-4.3: loss rates at a shared bottleneck "increase and
+// decrease together" without being equal).
+type SynthSpec struct {
+	// Duration of the measurement window (default 45 s).
+	Duration time.Duration
+	// RTT1, RTT2 are the two paths' RTTs (default 35 ms each).
+	RTT1, RTT2 time.Duration
+	// PacketRate is each path's transmission rate in packets/s
+	// (default 400).
+	PacketRate float64
+	// BaseLoss is the long-run mean loss probability (default 0.04).
+	BaseLoss float64
+	// CommonWeight in [0,1] is the fraction of loss intensity driven by
+	// the shared process; the rest is per-path independent. 1 = pure
+	// common bottleneck, 0 = fully independent bottlenecks.
+	CommonWeight float64
+	// ModPeriod is the intensity-modulation step (default 250 ms).
+	ModPeriod time.Duration
+	// RegLagRTTs delays each loss registration by this many path RTTs
+	// plus jitter, modelling retransmission-based measurement (default 1).
+	RegLagRTTs float64
+}
+
+func (s *SynthSpec) fill() {
+	if s.Duration <= 0 {
+		s.Duration = 45 * time.Second
+	}
+	if s.RTT1 <= 0 {
+		s.RTT1 = 35 * time.Millisecond
+	}
+	if s.RTT2 <= 0 {
+		s.RTT2 = 35 * time.Millisecond
+	}
+	if s.PacketRate <= 0 {
+		s.PacketRate = 400
+	}
+	if s.BaseLoss <= 0 {
+		s.BaseLoss = 0.04
+	}
+	if s.ModPeriod <= 0 {
+		s.ModPeriod = 250 * time.Millisecond
+	}
+	if s.RegLagRTTs == 0 {
+		s.RegLagRTTs = 1
+	}
+}
+
+// SynthPair generates the two synthetic measurement records.
+func SynthPair(rng *rand.Rand, spec SynthSpec) (m1, m2 *Path) {
+	spec.fill()
+	steps := int(spec.Duration/spec.ModPeriod) + 1
+
+	// Shared and per-path intensity multipliers: mean-reverting random
+	// walks around 1, clipped to [0.1, 3].
+	walk := func() []float64 {
+		out := make([]float64, steps)
+		x := 1.0
+		for i := range out {
+			x += -0.3*(x-1) + rng.NormFloat64()*0.45
+			if x < 0.1 {
+				x = 0.1
+			}
+			if x > 3 {
+				x = 3
+			}
+			out[i] = x
+		}
+		return out
+	}
+	common := walk()
+	ind1 := walk()
+	ind2 := walk()
+
+	gen := func(rtt time.Duration, ind []float64) *Path {
+		p := &Path{RTT: rtt, Duration: spec.Duration}
+		meanGap := time.Duration(float64(time.Second) / spec.PacketRate)
+		for t := time.Duration(0); t < spec.Duration; t += jitterExp(rng, meanGap) {
+			p.Tx = append(p.Tx, t)
+			step := int(t / spec.ModPeriod)
+			if step >= steps {
+				step = steps - 1
+			}
+			intensity := spec.CommonWeight*common[step] + (1-spec.CommonWeight)*ind[step]
+			if rng.Float64() < spec.BaseLoss*intensity {
+				lag := time.Duration(spec.RegLagRTTs * float64(rtt) * (0.8 + 0.4*rng.Float64()))
+				reg := t + lag
+				if reg > spec.Duration {
+					reg = spec.Duration
+				}
+				p.Loss = append(p.Loss, reg)
+			}
+		}
+		return p
+	}
+	return gen(spec.RTT1, ind1), gen(spec.RTT2, ind2)
+}
+
+func jitterExp(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}

@@ -1,0 +1,193 @@
+package netsim
+
+import "time"
+
+// CCAlgo selects a TCP flow's congestion-control algorithm.
+type CCAlgo int
+
+const (
+	// Reno is the default loss-based AIMD controller.
+	Reno CCAlgo = iota
+	// BBR is a simplified BBRv1 model: it paces at a gain times the
+	// estimated bottleneck bandwidth, caps inflight at 2×BDP, and — unlike
+	// Reno — does not reduce its rate on loss. The paper leaves "how loss
+	// rate correlations would occur with BBR flows" as an open question
+	// (§7); the extension-bbr experiment answers it in this framework.
+	BBR CCAlgo = iota
+)
+
+// bbrState carries the BBR estimator and state machine.
+type bbrState struct {
+	// Windowed max of delivery-rate samples (bits/s).
+	btlBwSamples []rateSample
+	btlBw        float64
+	// Windowed min RTT.
+	rtPropSamples []rttSample
+	rtProp        time.Duration
+
+	delivered int64 // total segments acked
+
+	state      bbrPhase
+	cycleIdx   int
+	cycleStart time.Duration
+	// Startup bookkeeping: rounds without >25% bandwidth growth.
+	fullBwCount int
+	fullBw      float64
+}
+
+type bbrPhase int
+
+const (
+	bbrStartup bbrPhase = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+type rateSample struct {
+	at   time.Duration
+	rate float64
+}
+
+type rttSample struct {
+	at  time.Duration
+	rtt time.Duration
+}
+
+// probe-bandwidth pacing-gain cycle (BBRv1).
+var bbrCycleGains = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885
+	bbrDrainGain   = 1 / 2.885
+	bbrCwndGain    = 2.0
+	bbrBwWindow    = 10 // in RTprops
+	bbrRtWindow    = 10 * time.Second
+)
+
+// onAckBBR feeds one delivery-rate and RTT sample into the estimator and
+// advances the state machine.
+func (f *TCPFlow) onAckBBR(st *tcpPktState, now time.Duration) {
+	b := f.bbr
+	b.delivered++
+	// Delivery rate sample: segments delivered since this packet was sent,
+	// over the elapsed time.
+	elapsed := now - st.sentAt
+	if elapsed > 0 && st.deliveredSnap >= 0 {
+		rate := float64(b.delivered-st.deliveredSnap) * float64(f.cfg.MSS) * 8 / elapsed.Seconds()
+		b.btlBwSamples = append(b.btlBwSamples, rateSample{at: now, rate: rate})
+	}
+	if st.rtx == 0 {
+		b.rtPropSamples = append(b.rtPropSamples, rttSample{at: now, rtt: now - st.sentAt})
+	}
+	b.refresh(now)
+
+	switch b.state {
+	case bbrStartup:
+		// Full pipe: bandwidth stopped growing 25% per round (checked once
+		// per RTprop via the cycle clock).
+		if now-b.cycleStart >= b.rtPropOr(f.cfg.InitRTTGuess) {
+			b.cycleStart = now
+			if b.btlBw < b.fullBw*1.25 {
+				b.fullBwCount++
+			} else {
+				b.fullBwCount = 0
+				b.fullBw = b.btlBw
+			}
+			if b.fullBwCount >= 3 {
+				b.state = bbrDrain
+			}
+		}
+	case bbrDrain:
+		bdp := b.bdpSegments(f.cfg.MSS)
+		if float64(f.inflight) <= bdp {
+			b.state = bbrProbeBW
+			b.cycleStart = now
+			b.cycleIdx = 0
+		}
+	case bbrProbeBW:
+		if now-b.cycleStart >= b.rtPropOr(f.cfg.InitRTTGuess) {
+			b.cycleStart = now
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrCycleGains)
+		}
+	}
+}
+
+// refresh prunes the sample windows and recomputes the max/min filters.
+func (b *bbrState) refresh(now time.Duration) {
+	bwHorizon := now - bbrBwWindow*b.rtPropOr(50*time.Millisecond)
+	i := 0
+	for i < len(b.btlBwSamples) && b.btlBwSamples[i].at < bwHorizon {
+		i++
+	}
+	b.btlBwSamples = b.btlBwSamples[i:]
+	b.btlBw = 0
+	for _, s := range b.btlBwSamples {
+		if s.rate > b.btlBw {
+			b.btlBw = s.rate
+		}
+	}
+
+	rtHorizon := now - bbrRtWindow
+	i = 0
+	for i < len(b.rtPropSamples) && b.rtPropSamples[i].at < rtHorizon {
+		i++
+	}
+	b.rtPropSamples = b.rtPropSamples[i:]
+	b.rtProp = 0
+	for _, s := range b.rtPropSamples {
+		if b.rtProp == 0 || s.rtt < b.rtProp {
+			b.rtProp = s.rtt
+		}
+	}
+}
+
+func (b *bbrState) rtPropOr(fallback time.Duration) time.Duration {
+	if b.rtProp > 0 {
+		return b.rtProp
+	}
+	return fallback
+}
+
+// pacingGain returns the current phase's pacing gain.
+func (b *bbrState) pacingGain() float64 {
+	switch b.state {
+	case bbrStartup:
+		return bbrStartupGain
+	case bbrDrain:
+		return bbrDrainGain
+	default:
+		return bbrCycleGains[b.cycleIdx]
+	}
+}
+
+// bdpSegments returns the estimated bandwidth-delay product in segments.
+func (b *bbrState) bdpSegments(mss int) float64 {
+	if b.btlBw <= 0 || b.rtProp <= 0 {
+		return 10 // pre-estimate default, matches InitCwnd
+	}
+	return b.btlBw * b.rtProp.Seconds() / 8 / float64(mss)
+}
+
+// bbrPaceInterval returns the inter-send time at the current pacing rate.
+func (f *TCPFlow) bbrPaceInterval() time.Duration {
+	b := f.bbr
+	rate := b.btlBw * b.pacingGain()
+	if rate <= 0 {
+		// Pre-estimate: pace the initial window over the RTT guess.
+		return f.cfg.InitRTTGuess / time.Duration(f.cfg.InitCwnd)
+	}
+	interval := time.Duration(float64(f.cfg.MSS*8) / rate * float64(time.Second))
+	if interval < 20*time.Microsecond {
+		interval = 20 * time.Microsecond
+	}
+	return interval
+}
+
+// bbrCwnd returns the inflight cap in segments.
+func (f *TCPFlow) bbrCwnd() float64 {
+	cw := bbrCwndGain * f.bbr.bdpSegments(f.cfg.MSS)
+	if cw < 4 {
+		cw = 4
+	}
+	return cw
+}

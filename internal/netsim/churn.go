@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ChurnConfig parameterizes a flow-churn background generator: Poisson
+// arrivals of finite TCP flows with bounded-Pareto sizes. This is the
+// closest synthetic equivalent of the paper's CAIDA replay ("we extract
+// the entire TCP flow payloads and replay them from the application
+// layer"): each flow adapts to loss while it lives, but the *population*
+// of active flows — hence the aggregate demand at the bottleneck — varies
+// at flow-lifetime timescales. That non-stationarity is what makes the
+// bottleneck's loss rate trend up and down (§4.2).
+type ChurnConfig struct {
+	// MeanRate is the long-run aggregate demand in bits/s.
+	MeanRate float64
+	// MinBytes/MaxBytes bound the Pareto flow sizes
+	// (defaults 30 KB / 30 MB).
+	MinBytes, MaxBytes float64
+	// Alpha is the Pareto shape (default 1.2, the classic Internet
+	// flow-size tail).
+	Alpha float64
+	// Class stamps the flows' packets.
+	Class Class
+	// Stop ends new arrivals (required).
+	Stop time.Duration
+	// PerFlowRate caps each flow's application rate (default 8 Mbit/s —
+	// an access-limited user).
+	PerFlowRate float64
+	// IDBase is the first flow ID used (default 1000); give each churn
+	// instance in a scenario its own range.
+	IDBase int
+}
+
+func (c *ChurnConfig) fill() {
+	if c.MinBytes <= 0 {
+		c.MinBytes = 30e3
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 30e6
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 1.2
+	}
+	if c.PerFlowRate <= 0 {
+		c.PerFlowRate = 8e6
+	}
+	if c.IDBase <= 0 {
+		c.IDBase = churnFlowIDBase
+	}
+}
+
+// Churn generates background TCP flows into a scenario.
+type Churn struct {
+	eng  *Engine
+	cfg  ChurnConfig
+	rng  *rand.Rand
+	sc   *Scenario
+	path []int // scenario path indices the flows enter through
+
+	nextID  int
+	Arrived int64
+	Bytes   int64
+}
+
+// churnFlowIDBase keeps churn flow IDs clear of foreground flows.
+const churnFlowIDBase = 1000
+
+// NewChurn creates a churn source whose flows enter the scenario via the
+// given path indices (round-robin).
+func NewChurn(eng *Engine, cfg ChurnConfig, rng *rand.Rand, sc *Scenario, pathIdx []int) *Churn {
+	cfg.fill()
+	return &Churn{eng: eng, cfg: cfg, rng: rng, sc: sc, path: pathIdx, nextID: cfg.IDBase}
+}
+
+// meanFlowBytes returns the mean of the bounded Pareto distribution.
+func (c *Churn) meanFlowBytes() float64 {
+	a, lo, hi := c.cfg.Alpha, c.cfg.MinBytes, c.cfg.MaxBytes
+	if a == 1 {
+		return lo * math.Log(hi/lo) / (1 - lo/hi)
+	}
+	num := math.Pow(lo, a) / (1 - math.Pow(lo/hi, a)) * a / (a - 1)
+	return num * (1/math.Pow(lo, a-1) - 1/math.Pow(hi, a-1))
+}
+
+// drawBytes samples a bounded-Pareto flow size.
+func (c *Churn) drawBytes() int64 {
+	a, lo, hi := c.cfg.Alpha, c.cfg.MinBytes, c.cfg.MaxBytes
+	u := c.rng.Float64()
+	x := lo / math.Pow(1-u*(1-math.Pow(lo/hi, a)), 1/a)
+	return int64(x)
+}
+
+// Start schedules the first arrival.
+func (c *Churn) Start(at time.Duration) {
+	if c.cfg.MeanRate <= 0 {
+		return
+	}
+	c.eng.Schedule(at, c.arrive)
+}
+
+func (c *Churn) arrive() {
+	now := c.eng.Now()
+	if now >= c.cfg.Stop {
+		return
+	}
+	size := c.drawBytes()
+	idx := c.path[int(c.Arrived)%len(c.path)]
+	id := c.nextID
+	c.nextID++
+	c.Arrived++
+	c.Bytes += size
+
+	f := NewTCPFlow(c.eng, id, TCPConfig{
+		Pacing:  true,
+		Class:   c.cfg.Class,
+		Bytes:   size,
+		AppRate: c.cfg.PerFlowRate,
+		Stop:    c.cfg.Stop,
+	}, c.sc.Entry(idx), c.sc.BackDelay(idx))
+	c.sc.Register(id, f.Receiver())
+	f.Start(now)
+
+	// Poisson arrivals sized so mean demand = MeanRate.
+	meanGap := c.meanFlowBytes() * 8 / c.cfg.MeanRate
+	gap := time.Duration(c.rng.ExpFloat64() * meanGap * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	c.eng.After(gap, c.arrive)
+}

@@ -1,0 +1,91 @@
+// Package netsim is a discrete-event, packet-level network simulator — the
+// stand-in for the ns-3 setup of the paper's §6. It models links with
+// finite bandwidth and FIFO tail-drop queues, token-bucket rate limiters
+// with DSCP-style classification (§C.1), TCP senders with pacing and
+// retransmission-based loss accounting (§3.4), trace-driven and Poisson UDP
+// sources, and modulated background traffic standing in for CAIDA replay.
+//
+// Everything is deterministic: the engine is single-threaded, event order
+// is total (time, then insertion sequence), and all stochastic components
+// draw from explicitly seeded *rand.Rand streams.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now time.Duration
+	pq  eventQueue
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn at simulation time at. Events scheduled in the past run
+// at the current time, after already-pending events for that time.
+func (e *Engine) Schedule(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// Run processes events until the queue drains or simulation time exceeds
+// until. It returns the number of events processed.
+func (e *Engine) Run(until time.Duration) int {
+	processed := 0
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		if ev.at > until {
+			// Put it back for a later Run and stop.
+			heap.Push(&e.pq, ev)
+			e.now = until
+			return processed
+		}
+		e.now = ev.at
+		ev.fn()
+		processed++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return processed
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var eng Engine
+	var got []int
+	eng.Schedule(3*time.Second, func() { got = append(got, 3) })
+	eng.Schedule(1*time.Second, func() { got = append(got, 1) })
+	eng.Schedule(2*time.Second, func() { got = append(got, 2) })
+	eng.Run(10 * time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if eng.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", eng.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var eng Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	eng.Run(2 * time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineRunUntilStopsAndResumes(t *testing.T) {
+	var eng Engine
+	fired := 0
+	eng.Schedule(5*time.Second, func() { fired++ })
+	n := eng.Run(2 * time.Second)
+	if n != 0 || fired != 0 {
+		t.Fatalf("event beyond horizon ran: n=%d fired=%d", n, fired)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d", eng.Pending())
+	}
+	eng.Run(10 * time.Second)
+	if fired != 1 {
+		t.Fatalf("event did not resume: fired=%d", fired)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	var eng Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			eng.After(time.Millisecond, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	eng.Run(time.Second)
+	if count != 100 {
+		t.Fatalf("cascade count = %d", count)
+	}
+	if eng.Now() != time.Second {
+		t.Fatalf("Now = %v", eng.Now())
+	}
+}
+
+func TestEnginePastEventsRunNow(t *testing.T) {
+	var eng Engine
+	var at time.Duration
+	eng.Schedule(time.Second, func() {
+		eng.Schedule(0, func() { at = eng.Now() }) // in the past
+	})
+	eng.Run(2 * time.Second)
+	if at != time.Second {
+		t.Fatalf("past event ran at %v, want 1s", at)
+	}
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import "time"
+
+// Link models a store-and-forward link: a FIFO tail-drop queue, a
+// transmitter serializing packets at Rate bits per second, and a fixed
+// propagation delay. A Rate of 0 means infinite bandwidth (pure delay, no
+// queueing, no loss).
+type Link struct {
+	// Name labels the link in drop reports ("l_c", "l_1", ...).
+	Name string
+	// Rate is the transmission rate in bits/s; 0 = infinite.
+	Rate float64
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// QueueLimit bounds the queue in bytes (excluding the packet being
+	// transmitted); 0 means a generous default of 250 ms worth of Rate.
+	QueueLimit int
+	// Next receives packets after serialization + propagation.
+	Next Hop
+	// OnDrop, when set, observes tail drops.
+	OnDrop DropHook
+
+	eng *Engine
+
+	queued     []*Packet
+	queuedSize int
+	busy       bool
+
+	// Counters.
+	Forwarded int64
+	Dropped   int64
+}
+
+// NewLink creates a link attached to eng.
+func NewLink(eng *Engine, name string, rate float64, delay time.Duration, next Hop) *Link {
+	l := &Link{Name: name, Rate: rate, Delay: delay, Next: next, eng: eng}
+	if rate > 0 {
+		l.QueueLimit = int(rate / 8 * 0.25) // 250 ms of buffering
+	}
+	return l
+}
+
+// Send implements Hop.
+func (l *Link) Send(pkt *Packet) {
+	if l.Rate <= 0 {
+		// Infinite bandwidth: pure propagation delay.
+		l.Forwarded++
+		l.deliverAfter(pkt, l.Delay)
+		return
+	}
+	if !l.busy {
+		l.busy = true
+		l.transmit(pkt)
+		return
+	}
+	if l.queuedSize+pkt.Size > l.QueueLimit {
+		l.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(pkt, l.Name)
+		}
+		return
+	}
+	pkt.QueuedFor -= l.eng.Now() // completed on dequeue
+	l.queued = append(l.queued, pkt)
+	l.queuedSize += pkt.Size
+}
+
+func (l *Link) transmit(pkt *Packet) {
+	txTime := time.Duration(float64(pkt.Size*8) / l.Rate * float64(time.Second))
+	l.Forwarded++
+	l.deliverAfter(pkt, txTime+l.Delay)
+	l.eng.After(txTime, l.transmitNext)
+}
+
+func (l *Link) transmitNext() {
+	if len(l.queued) == 0 {
+		l.busy = false
+		return
+	}
+	pkt := l.queued[0]
+	copy(l.queued, l.queued[1:])
+	l.queued = l.queued[:len(l.queued)-1]
+	l.queuedSize -= pkt.Size
+	pkt.QueuedFor += l.eng.Now()
+	l.transmit(pkt)
+}
+
+func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
+	next := l.Next
+	l.eng.After(d, func() {
+		if next != nil {
+			next.Send(pkt)
+		}
+	})
+}
+
+// QueueBytes returns the bytes currently queued (excluding the packet in
+// transmission).
+func (l *Link) QueueBytes() int { return l.queuedSize }

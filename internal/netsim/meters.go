@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// Measurements converts a TCP flow's logs into the transport-agnostic
+// measurement record consumed by the detection algorithms. Times are
+// rebased to start.
+func (f *TCPFlow) Measurements(start, dur time.Duration, rtt time.Duration) measure.Path {
+	return measure.Path{
+		RTT:      rtt,
+		Duration: dur,
+		Tx:       rebase(f.TxLog, start),
+		Loss:     rebase(f.LossLog, start),
+	}
+}
+
+// Deliveries converts the flow's client-side arrivals to measure events
+// rebased to start.
+func (f *TCPFlow) Deliveries(start time.Duration) []measure.Delivery {
+	return deliveries(f.Delivered, start)
+}
+
+// Measurements converts a UDP flow's logs into the measurement record.
+func (f *UDPFlow) Measurements(start, dur time.Duration, rtt time.Duration) measure.Path {
+	return measure.Path{
+		RTT:      rtt,
+		Duration: dur,
+		Tx:       rebase(f.TxLog, start),
+		Loss:     rebase(f.LossLog, start),
+	}
+}
+
+// Deliveries converts the flow's client-side arrivals to measure events
+// rebased to start.
+func (f *UDPFlow) Deliveries(start time.Duration) []measure.Delivery {
+	return deliveries(f.Delivered, start)
+}
+
+func rebase(ts []time.Duration, start time.Duration) []time.Duration {
+	out := make([]time.Duration, 0, len(ts))
+	for _, t := range ts {
+		if t >= start {
+			out = append(out, t-start)
+		}
+	}
+	return out
+}
+
+func deliveries(evs []DeliveryEvent, start time.Duration) []measure.Delivery {
+	out := make([]measure.Delivery, 0, len(evs))
+	for _, e := range evs {
+		if e.At >= start {
+			out = append(out, measure.Delivery{At: e.At - start, Bytes: e.Bytes})
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package netsim
+
+import "time"
+
+// Class is the traffic class carried in a packet's DSCP-like field. The
+// rate-limiter's classifier directs ClassDifferentiated packets through its
+// token-bucket queue and lets ClassDefault packets bypass it (§C.1).
+type Class uint8
+
+const (
+	// ClassDefault traffic is not subject to differentiation.
+	ClassDefault Class = 0
+	// ClassDifferentiated traffic matches the differentiation criterion
+	// (e.g. an original trace whose SNI a DPI box recognized).
+	ClassDifferentiated Class = 1
+)
+
+// Packet is a simulated packet in flight.
+type Packet struct {
+	// Flow identifies the sending flow (for meters and receivers).
+	Flow int
+	// Seq is the flow-local sequence number.
+	Seq int64
+	// Size is the packet size in bytes (payload + headers; the simulator
+	// does not distinguish).
+	Size int
+	// Class is the packet's traffic class.
+	Class Class
+	// SentAt is when the source transmitted the packet.
+	SentAt time.Duration
+	// Retransmission marks TCP retransmissions (meters exclude or count
+	// them separately).
+	Retransmission bool
+	// PolicyKey overrides the flow identity a per-flow policer sees.
+	// The §7 extension sets the same key on both replay paths so they
+	// land in one bucket ("appear to belong to the same flow").
+	PolicyKey string
+	// QueuedFor accumulates time spent waiting in queues along the path
+	// (ground-truth queueing delay).
+	QueuedFor time.Duration
+}
+
+// Hop is an element of a path that accepts packets. Hops form a chain:
+// links, rate limiters, taps, and finally a receiver.
+type Hop interface {
+	// Send hands the packet to the hop at the current simulation time.
+	Send(pkt *Packet)
+}
+
+// HopFunc adapts a function to the Hop interface.
+type HopFunc func(pkt *Packet)
+
+// Send implements Hop.
+func (f HopFunc) Send(pkt *Packet) { f(pkt) }
+
+// Tap is a pass-through hop that invokes a callback on every packet, used
+// to meter traffic at arbitrary points of a path.
+type Tap struct {
+	Next Hop
+	Fn   func(pkt *Packet)
+}
+
+// Send implements Hop.
+func (t *Tap) Send(pkt *Packet) {
+	if t.Fn != nil {
+		t.Fn(pkt)
+	}
+	if t.Next != nil {
+		t.Next.Send(pkt)
+	}
+}
+
+// DropHook observes packet drops; hops that can drop accept one.
+type DropHook func(pkt *Packet, where string)
+
+// Discard is a Hop that silently drops everything it receives.
+var Discard Hop = HopFunc(func(*Packet) {})

@@ -1,0 +1,89 @@
+package netsim
+
+// PerFlowLimiter models the differentiation mechanism WeHeY's base design
+// cannot localize (§3.2): instead of one collective token bucket, the
+// device polices *each flow separately*. Two replay flows then never share
+// a bucket — unless they are modified to present the same flow signature
+// (the §7 extension), in which case they become the bucket's only tenants.
+type PerFlowLimiter struct {
+	// Name labels the limiter in drop reports.
+	Name string
+	// Rate/Burst/QueueLimit configure each per-flow TBF (bits/s, bytes,
+	// bytes).
+	Rate       float64
+	Burst      int
+	QueueLimit int
+	// Next receives forwarded packets.
+	Next Hop
+	// OnDrop observes drops.
+	OnDrop DropHook
+
+	eng     *Engine
+	buckets map[string]*RateLimiter
+
+	// Counters.
+	Flows int
+}
+
+// NewPerFlowLimiter creates the device.
+func NewPerFlowLimiter(eng *Engine, name string, rate float64, burst, queueLimit int, next Hop) *PerFlowLimiter {
+	return &PerFlowLimiter{
+		Name:       name,
+		Rate:       rate,
+		Burst:      burst,
+		QueueLimit: queueLimit,
+		Next:       next,
+		eng:        eng,
+		buckets:    make(map[string]*RateLimiter),
+	}
+}
+
+// Send implements Hop: differentiated packets go through their flow's own
+// token bucket; default-class traffic bypasses.
+func (p *PerFlowLimiter) Send(pkt *Packet) {
+	if pkt.Class != ClassDifferentiated {
+		if p.Next != nil {
+			p.Next.Send(pkt)
+		}
+		return
+	}
+	key := pkt.PolicyKey
+	if key == "" {
+		key = flowKey(pkt.Flow)
+	}
+	b, ok := p.buckets[key]
+	if !ok {
+		b = NewRateLimiter(p.eng, p.Name+"/"+key, p.Rate, p.Burst, p.QueueLimit, p.Next)
+		b.OnDrop = p.OnDrop
+		p.buckets[key] = b
+		p.Flows++
+	}
+	b.Send(pkt)
+}
+
+// Bucket returns the per-flow limiter state for a key (nil if unseen).
+func (p *PerFlowLimiter) Bucket(key string) *RateLimiter { return p.buckets[key] }
+
+func flowKey(flow int) string {
+	// Small, allocation-free itoa for the common case.
+	if flow == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	n := flow
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

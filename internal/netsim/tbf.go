@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"time"
+)
+
+// RateLimiter models the differentiation device of §C.1: a classifier that
+// directs differentiated traffic (Class == ClassDifferentiated) through a
+// token-bucket filter (TBF) while default traffic bypasses it, and a
+// forwarding stage that pushes both onto the next hop.
+//
+// The TBF is parameterized like tc-tbf / the Juniper guidelines the paper
+// follows: Rate is the token replenishment rate; Burst is the bucket size
+// in bytes, set to rate×RTT by the paper's experiments; QueueLimit is the
+// queue in bytes — small queues make the device a policer (drops), large
+// ones a shaper (delay).
+type RateLimiter struct {
+	// Name labels the limiter in drop reports.
+	Name string
+	// Rate is the throttling rate in bits/s.
+	Rate float64
+	// Burst is the token bucket size in bytes.
+	Burst int
+	// QueueLimit is the TBF queue size in bytes; 0 = pure policer.
+	QueueLimit int
+	// Next receives forwarded packets.
+	Next Hop
+	// OnDrop observes policer drops.
+	OnDrop DropHook
+	// Classify overrides the per-packet class decision; nil uses
+	// pkt.Class. Real deployments decide by DPI on the SNI — in the
+	// simulator the class bit stands for "the DPI matched".
+	Classify func(*Packet) Class
+	// Active gates the limiter; when false all traffic bypasses the TBF.
+	// ISP-profile experiments toggle it (conditional throttling, §5).
+	Active bool
+
+	eng *Engine
+
+	tokens     float64 // bytes
+	lastRefill time.Duration
+	queued     []*Packet
+	queuedSize int
+	draining   bool
+
+	// Counters.
+	Matched   int64 // packets classified as differentiated
+	Bypassed  int64
+	Dropped   int64
+	Forwarded int64 // differentiated packets forwarded through the TBF
+}
+
+// NewRateLimiter creates an active rate limiter attached to eng.
+// burst and queueLimit are in bytes.
+func NewRateLimiter(eng *Engine, name string, rate float64, burst, queueLimit int, next Hop) *RateLimiter {
+	return &RateLimiter{
+		Name:       name,
+		Rate:       rate,
+		Burst:      burst,
+		QueueLimit: queueLimit,
+		Next:       next,
+		eng:        eng,
+		tokens:     float64(burst),
+		Active:     true,
+	}
+}
+
+// Send implements Hop.
+func (r *RateLimiter) Send(pkt *Packet) {
+	class := pkt.Class
+	if r.Classify != nil {
+		class = r.Classify(pkt)
+	}
+	if !r.Active || class != ClassDifferentiated {
+		r.Bypassed++
+		r.forward(pkt)
+		return
+	}
+	r.Matched++
+	if pkt.Size > r.Burst {
+		// A packet larger than the bucket can never earn enough tokens;
+		// it would head-of-line-block the queue forever. tc-tbf requires
+		// burst ≥ MTU for the same reason — drop and count it.
+		r.Dropped++
+		if r.OnDrop != nil {
+			r.OnDrop(pkt, r.Name)
+		}
+		return
+	}
+	r.refill()
+	if len(r.queued) == 0 && r.tokens >= float64(pkt.Size) {
+		r.tokens -= float64(pkt.Size)
+		r.Forwarded++
+		r.forward(pkt)
+		return
+	}
+	if r.queuedSize+pkt.Size > r.QueueLimit {
+		r.Dropped++
+		if r.OnDrop != nil {
+			r.OnDrop(pkt, r.Name)
+		}
+		return
+	}
+	pkt.QueuedFor -= r.eng.Now()
+	r.queued = append(r.queued, pkt)
+	r.queuedSize += pkt.Size
+	r.scheduleDrain()
+}
+
+// refill adds tokens accrued since the last refill, capped at Burst.
+func (r *RateLimiter) refill() {
+	now := r.eng.Now()
+	if now > r.lastRefill {
+		r.tokens += r.Rate / 8 * (now - r.lastRefill).Seconds()
+		if r.tokens > float64(r.Burst) {
+			r.tokens = float64(r.Burst)
+		}
+		r.lastRefill = now
+	}
+}
+
+// scheduleDrain arranges for the queue head to depart once enough tokens
+// have accumulated.
+func (r *RateLimiter) scheduleDrain() {
+	if r.draining || len(r.queued) == 0 {
+		return
+	}
+	r.draining = true
+	head := r.queued[0]
+	need := float64(head.Size) - r.tokens
+	var wait time.Duration
+	if need > 0 && r.Rate > 0 {
+		// Round up: a sub-nanosecond shortfall must still advance the
+		// clock, or the drain loop would spin at the current instant.
+		wait = time.Duration(need/(r.Rate/8)*float64(time.Second)) + 1
+	}
+	r.eng.After(wait, r.drain)
+}
+
+func (r *RateLimiter) drain() {
+	r.draining = false
+	if len(r.queued) == 0 {
+		return
+	}
+	r.refill()
+	head := r.queued[0]
+	if r.tokens < float64(head.Size) {
+		// Rounding shortfall: wait for the missing tokens.
+		r.scheduleDrain()
+		return
+	}
+	r.tokens -= float64(head.Size)
+	copy(r.queued, r.queued[1:])
+	r.queued = r.queued[:len(r.queued)-1]
+	r.queuedSize -= head.Size
+	head.QueuedFor += r.eng.Now()
+	r.Forwarded++
+	r.forward(head)
+	r.scheduleDrain()
+}
+
+func (r *RateLimiter) forward(pkt *Packet) {
+	if r.Next != nil {
+		r.Next.Send(pkt)
+	}
+}
+
+// QueueBytes returns the bytes currently waiting in the TBF queue.
+func (r *RateLimiter) QueueBytes() int { return r.queuedSize }
+
+// BurstForRTT returns the paper's burst sizing rule: rate×RTT, in bytes.
+func BurstForRTT(rate float64, rtt time.Duration) int {
+	b := int(rate / 8 * rtt.Seconds())
+	if b < MTU {
+		b = MTU
+	}
+	return b
+}
+
+// MTU is the largest packet the simulator expects (bytes).
+const MTU = 1500

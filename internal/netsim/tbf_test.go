@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBypassesDefaultClass(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	rl := NewRateLimiter(&eng, "tbf", 1e6, 1500, 0, col)
+	eng.Schedule(0, func() {
+		for i := 0; i < 50; i++ {
+			rl.Send(&Packet{Seq: int64(i), Size: 1500, Class: ClassDefault})
+		}
+	})
+	eng.Run(time.Second)
+	if len(col.pkts) != 50 {
+		t.Fatalf("delivered %d, want all 50 (bypass)", len(col.pkts))
+	}
+	if rl.Bypassed != 50 || rl.Matched != 0 {
+		t.Errorf("counters: bypassed=%d matched=%d", rl.Bypassed, rl.Matched)
+	}
+}
+
+func TestRateLimiterPolicesAtConfiguredRate(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	// 2 Mbit/s policer (queue 0 → pure policer), burst of one packet.
+	rl := NewRateLimiter(&eng, "tbf", 2e6, 1500, 0, col)
+	drops := 0
+	rl.OnDrop = func(*Packet, string) { drops++ }
+	// Offer 4 Mbit/s of 1000-byte class-1 packets for 10 s.
+	interval := 2 * time.Millisecond
+	n := int(10 * time.Second / interval)
+	for i := 0; i < n; i++ {
+		eng.Schedule(time.Duration(i)*interval, func() {
+			rl.Send(&Packet{Size: 1000, Class: ClassDifferentiated})
+		})
+	}
+	eng.Run(11 * time.Second)
+	gotRate := float64(len(col.pkts)) * 1000 * 8 / 10
+	if math.Abs(gotRate-2e6)/2e6 > 0.05 {
+		t.Errorf("forwarded rate = %.0f, want ≈2e6", gotRate)
+	}
+	// Offered 2x rate → ~half dropped.
+	frac := float64(drops) / float64(n)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("drop fraction = %v, want ≈0.5", frac)
+	}
+	if rl.Dropped != int64(drops) {
+		t.Errorf("counter mismatch: %d vs %d", rl.Dropped, drops)
+	}
+}
+
+func TestRateLimiterShaperDelaysInsteadOfDropping(t *testing.T) {
+	var eng Engine
+	polCol := &collector{eng: &eng}
+	shpCol := &collector{eng: &eng}
+	burst := 1500
+	policer := NewRateLimiter(&eng, "pol", 2e6, burst, 0, polCol)
+	shaper := NewRateLimiter(&eng, "shp", 2e6, burst, 60000, shpCol)
+	polDrops, shpDrops := 0, 0
+	policer.OnDrop = func(*Packet, string) { polDrops++ }
+	shaper.OnDrop = func(*Packet, string) { shpDrops++ }
+	interval := 3 * time.Millisecond // 1000B/3ms ≈ 2.67 Mbit/s, 1.33x rate
+	n := int(6 * time.Second / interval)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * interval
+		eng.Schedule(at, func() {
+			policer.Send(&Packet{Size: 1000, Class: ClassDifferentiated})
+			shaper.Send(&Packet{Size: 1000, Class: ClassDifferentiated})
+		})
+	}
+	eng.Run(8 * time.Second)
+	if shpDrops >= polDrops {
+		t.Errorf("shaper drops %d should be below policer drops %d", shpDrops, polDrops)
+	}
+	// The shaper must have introduced queueing delay on some packets.
+	var maxQ time.Duration
+	for _, p := range shpCol.pkts {
+		if p.QueuedFor > maxQ {
+			maxQ = p.QueuedFor
+		}
+	}
+	if maxQ < 10*time.Millisecond {
+		t.Errorf("shaper max queueing delay = %v, want substantial", maxQ)
+	}
+	// Shaper output still respects the token rate overall.
+	gotRate := float64(len(shpCol.pkts)) * 1000 * 8 / 6
+	if gotRate > 2e6*1.1 {
+		t.Errorf("shaper output rate %.0f exceeds configured 2e6", gotRate)
+	}
+}
+
+func TestRateLimiterBurstAllowsInitialBurst(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	// Big bucket: 10 packets of burst available immediately.
+	rl := NewRateLimiter(&eng, "tbf", 1e6, 10*1000, 0, col)
+	eng.Schedule(0, func() {
+		for i := 0; i < 12; i++ {
+			rl.Send(&Packet{Seq: int64(i), Size: 1000, Class: ClassDifferentiated})
+		}
+	})
+	eng.Run(time.Millisecond)
+	if len(col.pkts) != 10 {
+		t.Errorf("burst passed %d packets, want exactly 10", len(col.pkts))
+	}
+}
+
+func TestRateLimiterInactivePassesEverything(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	rl := NewRateLimiter(&eng, "tbf", 1e3, 100, 0, col)
+	rl.Active = false
+	eng.Schedule(0, func() {
+		for i := 0; i < 30; i++ {
+			rl.Send(&Packet{Size: 1500, Class: ClassDifferentiated})
+		}
+	})
+	eng.Run(time.Second)
+	if len(col.pkts) != 30 {
+		t.Errorf("inactive limiter interfered: delivered %d", len(col.pkts))
+	}
+}
+
+func TestRateLimiterCustomClassifier(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	rl := NewRateLimiter(&eng, "tbf", 1e6, 1000, 0, col)
+	rl.Classify = func(pkt *Packet) Class {
+		if pkt.Flow == 7 {
+			return ClassDifferentiated
+		}
+		return ClassDefault
+	}
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			rl.Send(&Packet{Flow: 7, Size: 1000})
+			rl.Send(&Packet{Flow: 8, Size: 1000})
+		}
+	})
+	eng.Run(time.Second)
+	if rl.Matched != 10 || rl.Bypassed != 10 {
+		t.Errorf("classifier: matched=%d bypassed=%d", rl.Matched, rl.Bypassed)
+	}
+}
+
+func TestBurstForRTT(t *testing.T) {
+	// 8 Mbit/s × 50 ms = 50 KB.
+	if got := BurstForRTT(8e6, 50*time.Millisecond); got != 50000 {
+		t.Errorf("BurstForRTT = %d, want 50000", got)
+	}
+	if got := BurstForRTT(1, time.Millisecond); got != MTU {
+		t.Errorf("tiny burst should clamp to MTU, got %d", got)
+	}
+}

@@ -1,0 +1,266 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// buildDirectPath wires a single TCP flow over a one-link path and returns
+// the flow. rate 0 = unconstrained link.
+func buildDirectPath(eng *Engine, rate float64, rtt time.Duration, cfg TCPConfig) *TCPFlow {
+	fwdDelay := rtt / 2
+	var flow *TCPFlow
+	// Receiver installed after flow creation via a forwarding hop.
+	end := HopFunc(func(pkt *Packet) { flow.Receiver().Send(pkt) })
+	link := NewLink(eng, "l", rate, fwdDelay, end)
+	flow = NewTCPFlow(eng, 1, cfg, link, rtt/2)
+	return flow
+}
+
+func TestTCPBulkSaturatesBottleneck(t *testing.T) {
+	var eng Engine
+	rtt := 40 * time.Millisecond
+	flow := buildDirectPath(&eng, 10e6, rtt, TCPConfig{Pacing: true, Stop: 10 * time.Second})
+	flow.Start(0)
+	eng.Run(11 * time.Second)
+
+	// Goodput over the steady portion (2s..10s) should approach 10 Mbit/s.
+	var bytes int64
+	for _, d := range flow.Delivered {
+		if d.At >= 2*time.Second && d.At < 10*time.Second {
+			bytes += int64(d.Bytes)
+		}
+	}
+	rate := float64(bytes) * 8 / 8.0
+	if rate < 8e6 || rate > 10.5e6 {
+		t.Errorf("bulk TCP rate = %.2f Mbit/s, want ≈10", rate/1e6)
+	}
+}
+
+func TestTCPLosslessPathHasNoRetransmissions(t *testing.T) {
+	var eng Engine
+	flow := buildDirectPath(&eng, 50e6, 20*time.Millisecond, TCPConfig{Pacing: true, Bytes: 2 << 20})
+	flow.Start(0)
+	eng.Run(30 * time.Second)
+	if flow.RtxCount != 0 {
+		t.Errorf("retransmissions on lossless path: %d", flow.RtxCount)
+	}
+	if got := flow.DeliveredBytes(); got != 2<<20 {
+		// Bytes bound is rounded to whole MSS segments: allow one segment.
+		if got < 2<<20 || got > 2<<20+1400 {
+			t.Errorf("delivered %d bytes, want ≈%d", got, 2<<20)
+		}
+	}
+	if len(flow.LossLog) != 0 {
+		t.Errorf("loss events on lossless path: %d", len(flow.LossLog))
+	}
+}
+
+func TestTCPRTTEstimate(t *testing.T) {
+	var eng Engine
+	rtt := 60 * time.Millisecond
+	flow := buildDirectPath(&eng, 0, rtt, TCPConfig{Pacing: true, Bytes: 1 << 20})
+	flow.Start(0)
+	eng.Run(20 * time.Second)
+	if len(flow.RTTSamples) == 0 {
+		t.Fatal("no RTT samples")
+	}
+	minRTT := flow.RTTSamples[0]
+	for _, s := range flow.RTTSamples {
+		if s < minRTT {
+			minRTT = s
+		}
+	}
+	if minRTT != rtt {
+		t.Errorf("min RTT = %v, want %v (unconstrained path)", minRTT, rtt)
+	}
+	if q := flow.AvgQueuingDelay(); q != 0 {
+		t.Errorf("queueing delay on unconstrained path = %v", q)
+	}
+}
+
+func TestTCPThroughPolicerMatchesRateAndRegistersLoss(t *testing.T) {
+	var eng Engine
+	rtt := 50 * time.Millisecond
+	rate := 4e6
+	burst := BurstForRTT(rate, rtt)
+	var flow *TCPFlow
+	end := HopFunc(func(pkt *Packet) { flow.Receiver().Send(pkt) })
+	link := NewLink(&eng, "l", 0, rtt/2, end)
+	rl := NewRateLimiter(&eng, "tbf", rate, burst, 0, link)
+	flow = NewTCPFlow(&eng, 1, TCPConfig{Pacing: true, Class: ClassDifferentiated, Stop: 20 * time.Second}, rl, rtt/2)
+	flow.Start(0)
+	eng.Run(25 * time.Second)
+
+	var bytes int64
+	for _, d := range flow.Delivered {
+		if d.At >= 5*time.Second && d.At < 20*time.Second {
+			bytes += int64(d.Bytes)
+		}
+	}
+	goodput := float64(bytes) * 8 / 15
+	if math.Abs(goodput-rate)/rate > 0.25 {
+		t.Errorf("goodput through policer = %.2f Mbit/s, want ≈%.2f", goodput/1e6, rate/1e6)
+	}
+	if flow.RtxCount == 0 {
+		t.Error("no retransmissions despite policing")
+	}
+	if len(flow.LossLog) == 0 {
+		t.Error("no loss events registered")
+	}
+	// Retransmission-estimated loss should be within 3x of ground truth
+	// (overcounting/undercounting is expected, §4.2, but not wild).
+	truth := float64(rl.Dropped)
+	est := float64(len(flow.LossLog))
+	if est < truth*0.4 || est > truth*3 {
+		t.Errorf("loss estimate %v vs ground truth %v", est, truth)
+	}
+}
+
+func TestTCPPacingSmoothsTransmissions(t *testing.T) {
+	// With pacing, back-to-back transmissions (gap < 100 µs) should be rare
+	// in steady state; without pacing, ACK-clocked bursts produce many.
+	burstFrac := func(pacing bool) float64 {
+		var eng Engine
+		flow := buildDirectPath(&eng, 20e6, 40*time.Millisecond, TCPConfig{Pacing: pacing, Stop: 5 * time.Second})
+		flow.Start(0)
+		eng.Run(6 * time.Second)
+		if len(flow.TxLog) < 100 {
+			t.Fatalf("too few transmissions: %d", len(flow.TxLog))
+		}
+		bursty := 0
+		for i := 1; i < len(flow.TxLog); i++ {
+			if flow.TxLog[i]-flow.TxLog[i-1] < 100*time.Microsecond {
+				bursty++
+			}
+		}
+		return float64(bursty) / float64(len(flow.TxLog)-1)
+	}
+	paced := burstFrac(true)
+	unpaced := burstFrac(false)
+	if paced > 0.05 {
+		t.Errorf("paced burst fraction = %v, want <0.05", paced)
+	}
+	if unpaced < paced {
+		t.Errorf("unpaced (%v) should be burstier than paced (%v)", unpaced, paced)
+	}
+}
+
+func TestTCPStopCeasesTransmission(t *testing.T) {
+	var eng Engine
+	flow := buildDirectPath(&eng, 10e6, 20*time.Millisecond, TCPConfig{Pacing: true, Stop: time.Second})
+	flow.Start(0)
+	eng.Run(5 * time.Second)
+	for _, tx := range flow.TxLog {
+		if tx > 2*time.Second { // retransmissions may trail briefly
+			t.Errorf("transmission at %v long after stop", tx)
+			break
+		}
+	}
+	// New data must cease exactly at stop: everything after it is a
+	// retransmission of earlier sequence numbers.
+	if int64(len(flow.TxLog)) != flow.TxCount {
+		t.Errorf("TxLog/TxCount mismatch")
+	}
+}
+
+func TestTCPDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		var eng Engine
+		var flow *TCPFlow
+		end := HopFunc(func(pkt *Packet) { flow.Receiver().Send(pkt) })
+		link := NewLink(&eng, "l", 5e6, 10*time.Millisecond, end)
+		rl := NewRateLimiter(&eng, "tbf", 2e6, 12500, 0, link)
+		flow = NewTCPFlow(&eng, 1, TCPConfig{Pacing: true, Class: ClassDifferentiated, Stop: 5 * time.Second}, rl, 10*time.Millisecond)
+		flow.Start(0)
+		eng.Run(6 * time.Second)
+		return flow.TxCount, flow.RtxCount
+	}
+	tx1, rtx1 := run()
+	tx2, rtx2 := run()
+	if tx1 != tx2 || rtx1 != rtx2 {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", tx1, rtx1, tx2, rtx2)
+	}
+}
+
+func TestTCPAppLimitedRate(t *testing.T) {
+	var eng Engine
+	appRate := 5e6
+	flow := buildDirectPath(&eng, 0, 40*time.Millisecond, TCPConfig{
+		Pacing: true, AppRate: appRate, Stop: 10 * time.Second,
+	})
+	flow.Start(0)
+	eng.Run(11 * time.Second)
+	var bytes int64
+	for _, d := range flow.Delivered {
+		if d.At >= 2*time.Second && d.At < 10*time.Second {
+			bytes += int64(d.Bytes)
+		}
+	}
+	rate := float64(bytes) * 8 / 8.0
+	if rate < appRate*0.85 || rate > appRate*1.15 {
+		t.Errorf("app-limited rate = %.2f Mbit/s, want ≈%.2f", rate/1e6, appRate/1e6)
+	}
+	if flow.RtxCount != 0 {
+		t.Errorf("retransmissions on an unconstrained path: %d", flow.RtxCount)
+	}
+}
+
+func TestBBRApproachesBottleneckWithoutBackoff(t *testing.T) {
+	var eng Engine
+	rtt := 40 * time.Millisecond
+	flow := buildDirectPath(&eng, 10e6, rtt, TCPConfig{CC: BBR, Stop: 12 * time.Second})
+	flow.Start(0)
+	eng.Run(13 * time.Second)
+
+	var bytes int64
+	for _, d := range flow.Delivered {
+		if d.At >= 4*time.Second && d.At < 12*time.Second {
+			bytes += int64(d.Bytes)
+		}
+	}
+	rate := float64(bytes) * 8 / 8.0
+	if rate < 8.5e6 || rate > 10.5e6 {
+		t.Errorf("BBR rate = %.2f Mbit/s, want ≈10", rate/1e6)
+	}
+}
+
+func TestBBRSustainsRateThroughPolicer(t *testing.T) {
+	// The §7 open question's crux: a policer drops packets but BBR does
+	// not interpret loss as congestion, so it keeps pacing near its
+	// bandwidth estimate and sustains a high loss rate.
+	run := func(cc CCAlgo) (goodput float64, lossRate float64) {
+		var eng Engine
+		rtt := 40 * time.Millisecond
+		rate := 3e6
+		var flow *TCPFlow
+		end := HopFunc(func(pkt *Packet) { flow.Receiver().Send(pkt) })
+		link := NewLink(&eng, "l", 0, rtt/2, end)
+		rl := NewRateLimiter(&eng, "tbf", rate, BurstForRTT(rate, rtt), 0, link)
+		flow = NewTCPFlow(&eng, 1, TCPConfig{CC: cc, Pacing: true, Class: ClassDifferentiated,
+			AppRate: 8e6, Stop: 15 * time.Second}, rl, rtt/2)
+		flow.Start(0)
+		eng.Run(17 * time.Second)
+		var bytes int64
+		for _, d := range flow.Delivered {
+			if d.At >= 5*time.Second && d.At < 15*time.Second {
+				bytes += int64(d.Bytes)
+			}
+		}
+		return float64(bytes) * 8 / 10, float64(len(flow.LossLog)) / float64(len(flow.TxLog))
+	}
+	bbrGoodput, bbrLoss := run(BBR)
+	renoGoodput, renoLoss := run(Reno)
+	// Both should roughly achieve the policer rate...
+	if bbrGoodput < 2e6 {
+		t.Errorf("BBR goodput %.2f Mbit/s, want near the 3 Mbit/s policer", bbrGoodput/1e6)
+	}
+	if renoGoodput < 1.5e6 {
+		t.Errorf("Reno goodput %.2f Mbit/s", renoGoodput/1e6)
+	}
+	// ...but BBR keeps offering above it, sustaining a higher loss rate.
+	if bbrLoss <= renoLoss {
+		t.Errorf("BBR loss %.3f should exceed Reno's %.3f (no loss backoff)", bbrLoss, renoLoss)
+	}
+}

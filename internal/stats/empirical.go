@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Empirical is an empirical distribution built from a sample. It supports
+// CDF evaluation, quantiles, and a Gaussian-kernel density estimate — the
+// machinery behind the O_diff/T_diff comparison plots (Figure 2) and the
+// T_diff "normal throughput variation" distribution of §4.1.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical distribution from the sample xs.
+// The input is copied.
+func NewEmpirical(xs []float64) *Empirical {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &Empirical{sorted: sorted}
+}
+
+// Len returns the number of samples.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// Samples returns the sorted samples backing the distribution.
+// The caller must not modify the returned slice.
+func (e *Empirical) Samples() []float64 { return e.sorted }
+
+// CDF returns the fraction of samples ≤ x.
+func (e *Empirical) CDF(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (e *Empirical) Quantile(q float64) float64 {
+	return quantileSorted(e.sorted, q)
+}
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 { return Mean(e.sorted) }
+
+// CDFPoints returns the (x, F(x)) step points of the empirical CDF,
+// suitable for plotting.
+func (e *Empirical) CDFPoints() (xs, fs []float64) {
+	n := len(e.sorted)
+	xs = make([]float64, 0, n)
+	fs = make([]float64, 0, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && e.sorted[j+1] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		fs = append(fs, float64(j+1)/float64(n))
+		i = j + 1
+	}
+	return xs, fs
+}
+
+// KDE evaluates a Gaussian kernel density estimate of the sample at each of
+// the points in at, using Silverman's rule-of-thumb bandwidth. This renders
+// the PDF panels of Figure 2.
+func (e *Empirical) KDE(at []float64) []float64 {
+	out := make([]float64, len(at))
+	n := len(e.sorted)
+	if n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	h := e.silvermanBandwidth()
+	if h <= 0 || math.IsNaN(h) {
+		h = 1e-9
+	}
+	norm := 1 / (float64(n) * h * math.Sqrt(2*math.Pi))
+	for i, x := range at {
+		var s float64
+		for _, xi := range e.sorted {
+			u := (x - xi) / h
+			s += math.Exp(-0.5 * u * u)
+		}
+		out[i] = norm * s
+	}
+	return out
+}
+
+func (e *Empirical) silvermanBandwidth() float64 {
+	n := float64(len(e.sorted))
+	if n < 2 {
+		return 0
+	}
+	sd := StdDev(e.sorted)
+	iqr := quantileSorted(e.sorted, 0.75) - quantileSorted(e.sorted, 0.25)
+	a := sd
+	if iqr > 0 && iqr/1.349 < a {
+		a = iqr / 1.349
+	}
+	return 0.9 * a * math.Pow(n, -0.2)
+}
+
+// Support returns [min, max] of the sample, or NaNs when empty.
+func (e *Empirical) Support() (lo, hi float64) {
+	if len(e.sorted) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return e.sorted[0], e.sorted[len(e.sorted)-1]
+}
+
+// Linspace returns n evenly spaced points covering [lo, hi]; n must be ≥ 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

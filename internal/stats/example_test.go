@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/nal-epfl/wehey/internal/stats"
+)
+
+// The §4.1 decision: is O_diff significantly smaller than T_diff?
+func ExampleMannWhitneyU() {
+	odiff := []float64{0.01, 0.02, 0.015, 0.03, 0.02, 0.01, 0.025, 0.02}
+	tdiff := []float64{0.10, 0.15, 0.08, 0.22, 0.12, 0.18, 0.09, 0.14}
+	res, err := stats.MannWhitneyU(odiff, tdiff, stats.Less)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("U = %.0f, significant at 0.05: %v\n", res.U, res.P < 0.05)
+	// Output:
+	// U = 0, significant at 0.05: true
+}
+
+// The Alg. 1 correlation check: do two loss-rate series trend together?
+func ExampleSpearman() {
+	lossRate1 := []float64{0.01, 0.02, 0.05, 0.04, 0.08, 0.07, 0.03, 0.02}
+	lossRate2 := []float64{0.02, 0.03, 0.09, 0.06, 0.15, 0.11, 0.05, 0.03}
+	res, err := stats.Spearman(lossRate1, lossRate2, stats.Greater)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("rho = %.3f, correlated at FP 0.05: %v\n", res.Rho, res.P < 0.05)
+	// Output:
+	// rho = 1.000, correlated at FP 0.05: true
+}
+
+// WeHe's detection: are the original and bit-inverted throughput CDFs
+// significantly different?
+func ExampleKolmogorovSmirnov() {
+	original := []float64{2.0, 2.1, 1.9, 2.0, 2.2, 2.1, 1.8, 2.0, 1.9, 2.1}
+	inverted := []float64{8.1, 7.9, 8.3, 8.0, 7.8, 8.2, 8.1, 7.7, 8.0, 8.4}
+	res, err := stats.KolmogorovSmirnov(original, inverted)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("D = %.2f, differentiation: %v\n", res.D, res.P < 0.05)
+	// Output:
+	// D = 1.00, differentiation: true
+}

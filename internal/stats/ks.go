@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	D float64 // maximum distance between the two empirical CDFs
+	P float64 // asymptotic two-sided p-value
+}
+
+// KolmogorovSmirnov performs the two-sample Kolmogorov-Smirnov test on x and
+// y, returning the KS statistic D and the asymptotic two-sided p-value.
+//
+// WeHe's differentiation detector compares the CDFs of per-interval
+// throughput achieved by the original and bit-inverted replays with this
+// test (§2.1): if they differ significantly, there is traffic differentiation
+// somewhere on the path.
+func KolmogorovSmirnov(x, y []float64) (KSResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 < 2 || n2 < 2 {
+		return KSResult{}, ErrTooFewSamples
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+
+	var d float64
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		v := math.Min(xs[i], ys[j])
+		for i < n1 && xs[i] == v {
+			i++
+		}
+		for j < n2 && ys[j] == v {
+			j++
+		}
+		f1 := float64(i) / float64(n1)
+		f2 := float64(j) / float64(n2)
+		if diff := math.Abs(f1 - f2); diff > d {
+			d = diff
+		}
+	}
+
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	sqNe := math.Sqrt(ne)
+	lambda := (sqNe + 0.12 + 0.11/sqNe) * d
+	return KSResult{D: d, P: KolmogorovQ(lambda)}, nil
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKolmogorovSmirnovIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := KolmogorovSmirnov(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 0 {
+		t.Errorf("D = %v, want 0 for identical samples", res.D)
+	}
+	if res.P < 0.999 {
+		t.Errorf("p = %v, want ~1", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovDisjointSamples(t *testing.T) {
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + 1000
+	}
+	res, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 1 {
+		t.Errorf("D = %v, want 1 for disjoint samples", res.D)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v, want ~0", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovHandComputedD(t *testing.T) {
+	// x = {1,2,3,4}, y = {3,4,5,6}.
+	// After value 2: F1 = 0.5, F2 = 0 → D = 0.5 (max).
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 4, 5, 6}
+	res, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 0.5 {
+		t.Errorf("D = %v, want 0.5", res.D)
+	}
+}
+
+func TestKolmogorovSmirnovNullRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rejections := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 100)
+		y := make([]float64, 100)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64()
+		}
+		res, err := KolmogorovSmirnov(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	// The asymptotic p-value is known to be conservative-ish; allow slack.
+	if rate > 0.09 {
+		t.Errorf("null rejection rate = %v, want ≲0.05", rate)
+	}
+}
+
+func TestKolmogorovSmirnovDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+		y[j] = rng.NormFloat64() + 1.0
+	}
+	res, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("shifted distributions: p = %v, want tiny", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovTooFew(t *testing.T) {
+	if _, err := KolmogorovSmirnov([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want ErrTooFewSamples")
+	}
+}

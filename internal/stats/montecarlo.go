@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RelMeanDiff computes the relative mean difference used throughout §4.1:
+//
+//	(mean(a) − mean(b)) / max(mean(a), mean(b)).
+//
+// Both t_diff (historical throughput variation) and o_diff (single- vs
+// simultaneous-replay difference) are instances of this quantity.
+func RelMeanDiff(a, b []float64) float64 {
+	ma, mb := Mean(a), Mean(b)
+	den := math.Max(ma, mb)
+	if den == 0 {
+		return 0
+	}
+	return (ma - mb) / den
+}
+
+// HalfSample returns a uniformly random half of xs (⌈n/2⌉ elements), sampled
+// without replacement. It implements the subsample draw of the O_diff
+// Monte-Carlo simulation (§4.1): "two sets X′ and Y′, each one including a
+// randomly chosen half of the samples".
+func HalfSample(rng *rand.Rand, xs []float64) []float64 {
+	n := len(xs)
+	k := (n + 1) / 2
+	idx := rng.Perm(n)[:k]
+	out := make([]float64, k)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// ODiff runs the Monte-Carlo simulation of §4.1 that builds the O_diff
+// distribution: for each of iters iterations it draws random halves X′ ⊂ x
+// and Y′ ⊂ y and records their relative mean difference. The number of
+// iterations is chosen by the caller to match the size of T_diff so that the
+// two distributions have the same size.
+func ODiff(rng *rand.Rand, x, y []float64, iters int) []float64 {
+	out := make([]float64, iters)
+	for i := range out {
+		xp := HalfSample(rng, x)
+		yp := HalfSample(rng, y)
+		out[i] = RelMeanDiff(xp, yp)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Alternative selects the alternative hypothesis of a one- or two-sided test.
+type Alternative int
+
+const (
+	// TwoSided tests for any difference.
+	TwoSided Alternative = iota
+	// Less tests that the first sample is stochastically smaller
+	// (smaller rank-sum) than the second.
+	Less
+	// Greater tests that the first sample is stochastically greater.
+	Greater
+)
+
+// String returns the conventional name of the alternative.
+func (a Alternative) String() string {
+	switch a {
+	case TwoSided:
+		return "two-sided"
+	case Less:
+		return "less"
+	case Greater:
+		return "greater"
+	}
+	return "unknown"
+}
+
+// MWUResult holds the outcome of a Mann-Whitney U (Wilcoxon rank-sum) test.
+type MWUResult struct {
+	U      float64 // U statistic of the first sample
+	Z      float64 // normal-approximation z score (with continuity correction)
+	P      float64 // p-value under the requested alternative
+	RankX  float64 // rank sum of the first sample
+	TieVar float64 // tie-corrected variance of U
+}
+
+// ErrTooFewSamples is returned when a test is given fewer samples than it
+// needs to produce a meaningful p-value.
+var ErrTooFewSamples = errors.New("stats: too few samples")
+
+// MannWhitneyU performs the Mann-Whitney U test comparing samples x and y,
+// using the normal approximation with tie correction and a 0.5 continuity
+// correction. This is the test WeHeY's throughput-comparison algorithm uses
+// (with alt == Less: O_diff has significantly smaller rank-sum than T_diff).
+//
+// The normal approximation is accurate for len(x), len(y) >= 8, which all
+// callers in this module satisfy; below 3 samples per side it returns
+// ErrTooFewSamples.
+func MannWhitneyU(x, y []float64, alt Alternative) (MWUResult, error) {
+	n1, n2 := float64(len(x)), float64(len(y))
+	if len(x) < 3 || len(y) < 3 {
+		return MWUResult{}, ErrTooFewSamples
+	}
+	combined := make([]float64, 0, len(x)+len(y))
+	combined = append(combined, x...)
+	combined = append(combined, y...)
+	ranks := Ranks(combined)
+
+	var r1 float64
+	for i := range x {
+		r1 += ranks[i]
+	}
+	u1 := r1 - n1*(n1+1)/2
+
+	n := n1 + n2
+	mu := n1 * n2 / 2
+	tieSum := 0.0
+	for _, t := range TieGroups(combined) {
+		tf := float64(t)
+		tieSum += tf*tf*tf - tf
+	}
+	variance := n1 * n2 / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if variance <= 0 {
+		// All values identical: no evidence either way.
+		return MWUResult{U: u1, Z: 0, P: 1, RankX: r1, TieVar: 0}, nil
+	}
+	sd := math.Sqrt(variance)
+
+	res := MWUResult{U: u1, RankX: r1, TieVar: variance}
+	switch alt {
+	case Less:
+		res.Z = (u1 + 0.5 - mu) / sd
+		res.P = NormalCDF(res.Z)
+	case Greater:
+		res.Z = (u1 - 0.5 - mu) / sd
+		res.P = 1 - NormalCDF(res.Z)
+	default: // TwoSided
+		var z float64
+		if u1 > mu {
+			z = (u1 - 0.5 - mu) / sd
+		} else {
+			z = (u1 + 0.5 - mu) / sd
+		}
+		res.Z = z
+		res.P = clampProb(2 * (1 - NormalCDF(math.Abs(z))))
+	}
+	res.P = clampProb(res.P)
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package stats
+
+// Exact Mann-Whitney U p-values for small samples, by dynamic programming
+// over the null distribution of U (all (n1+n2 choose n1) rank assignments
+// equally likely, no ties). The normal approximation used by MannWhitneyU
+// is accurate from ~8 samples per side; below that the exact distribution
+// is preferable, and it also serves as a test oracle for the approximation.
+
+// mwuCountTable builds c[u] = number of rank assignments with U = u, for
+// samples of sizes n1 and n2, via the classic recurrence
+//
+//	c_{n1,n2}(u) = c_{n1-1,n2}(u-n2) + c_{n1,n2-1}(u).
+func mwuCountTable(n1, n2 int) []float64 {
+	maxU := n1 * n2
+	// dp[i][j][u] reduced to rolling over i.
+	prev := make([][]float64, n2+1)
+	cur := make([][]float64, n2+1)
+	for j := 0; j <= n2; j++ {
+		prev[j] = make([]float64, maxU+1)
+		cur[j] = make([]float64, maxU+1)
+	}
+	// i = 0: U must be 0 regardless of j.
+	for j := 0; j <= n2; j++ {
+		prev[j][0] = 1
+	}
+	for i := 1; i <= n1; i++ {
+		for j := 0; j <= n2; j++ {
+			for u := 0; u <= maxU; u++ {
+				var v float64
+				if u-j >= 0 {
+					v += prev[j][u-j] // smallest remaining obs is from sample 1
+				}
+				if j > 0 {
+					v += cur[j-1][u] // ... or from sample 2
+				}
+				cur[j][u] = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n2]
+}
+
+// MannWhitneyUExact computes the exact p-value of the Mann-Whitney U test
+// for small, tie-free samples. For samples with ties or more than
+// MaxExactN observations per side it falls back to the normal
+// approximation of MannWhitneyU.
+func MannWhitneyUExact(x, y []float64, alt Alternative) (MWUResult, error) {
+	if len(x) < 1 || len(y) < 1 {
+		return MWUResult{}, ErrTooFewSamples
+	}
+	if len(x) > MaxExactN || len(y) > MaxExactN || hasTies(x, y) {
+		return MannWhitneyU(x, y, alt)
+	}
+	n1, n2 := len(x), len(y)
+	combined := make([]float64, 0, n1+n2)
+	combined = append(combined, x...)
+	combined = append(combined, y...)
+	ranks := Ranks(combined)
+	var r1 float64
+	for i := range x {
+		r1 += ranks[i]
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+
+	counts := mwuCountTable(n1, n2)
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	cdf := func(u float64) float64 { // P(U <= u)
+		var s float64
+		for i := 0; i <= int(u) && i < len(counts); i++ {
+			s += counts[i]
+		}
+		return s / total
+	}
+	sf := func(u float64) float64 { // P(U >= u)
+		var s float64
+		for i := int(u); i < len(counts); i++ {
+			s += counts[i]
+		}
+		return s / total
+	}
+
+	res := MWUResult{U: u1, RankX: r1}
+	switch alt {
+	case Less:
+		res.P = cdf(u1)
+	case Greater:
+		res.P = sf(u1)
+	default:
+		p := 2 * minF(cdf(u1), sf(u1))
+		res.P = clampProb(p)
+	}
+	return res, nil
+}
+
+// MaxExactN bounds the per-sample size for the exact MWU computation
+// (the DP is O(n1·n2·(n1·n2)) and the normal approximation is already
+// excellent beyond this).
+const MaxExactN = 25
+
+func hasTies(x, y []float64) bool {
+	seen := make(map[float64]bool, len(x)+len(y))
+	for _, v := range x {
+		if seen[v] {
+			return true
+		}
+		seen[v] = true
+	}
+	for _, v := range y {
+		if seen[v] {
+			return true
+		}
+		seen[v] = true
+	}
+	return false
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

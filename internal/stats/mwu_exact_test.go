@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMWUExactTinyCase(t *testing.T) {
+	// x = {1,2}, y = {3,4,5}: U1 = 0. Under the null, P(U <= 0) = 1/C(5,2) = 0.1.
+	x := []float64{1, 2}
+	y := []float64{3, 4, 5}
+	res, err := MannWhitneyUExact(x, y, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Fatalf("U = %v", res.U)
+	}
+	if !almostEqual(res.P, 0.1, 1e-12) {
+		t.Errorf("exact P = %v, want 0.1", res.P)
+	}
+	// Greater: P(U >= 0) = 1.
+	g, _ := MannWhitneyUExact(x, y, Greater)
+	if g.P != 1 {
+		t.Errorf("greater P = %v, want 1", g.P)
+	}
+}
+
+func TestMWUExactSymmetricNull(t *testing.T) {
+	// Interleaved samples: U1 near the center; two-sided p should be large.
+	x := []float64{1, 3, 5, 7}
+	y := []float64{2, 4, 6, 8}
+	res, err := MannWhitneyUExact(x, y, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved samples: p = %v, want large", res.P)
+	}
+}
+
+func TestMWUExactCountTable(t *testing.T) {
+	// n1 = n2 = 2 → C(4,2) = 6 assignments, U distribution 1,1,2,1,1 over U=0..4.
+	counts := mwuCountTable(2, 2)
+	want := []float64{1, 1, 2, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("len = %d", len(counts))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestMWUExactAgreesWithApproxAtModerateN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2 := 10+rng.Intn(8), 10+rng.Intn(8)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() + 0.4
+		}
+		exact, err := MannWhitneyUExact(x, y, Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := MannWhitneyU(x, y, Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact.P-approx.P) > 0.03 {
+			t.Errorf("trial %d: exact %v vs approx %v", trial, exact.P, approx.P)
+		}
+	}
+}
+
+func TestMWUExactFallsBackOnTiesAndLargeN(t *testing.T) {
+	// Ties → falls back (result must match the approximate test).
+	x := []float64{1, 1, 2, 3}
+	y := []float64{2, 3, 4, 5}
+	ex, err := MannWhitneyUExact(x, y, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := MannWhitneyU(x, y, Less)
+	if ex.P != ap.P {
+		t.Errorf("tie fallback: %v vs %v", ex.P, ap.P)
+	}
+	// Large n → falls back without error.
+	big := make([]float64, MaxExactN+1)
+	for i := range big {
+		big[i] = float64(i) * 1.7
+	}
+	big2 := make([]float64, MaxExactN+1)
+	for i := range big2 {
+		big2[i] = float64(i)*1.7 + 0.5
+	}
+	if _, err := MannWhitneyUExact(big, big2, Less); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMWUExactEmpty(t *testing.T) {
+	if _, err := MannWhitneyUExact(nil, []float64{1}, Less); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneyUSeparatedSamples(t *testing.T) {
+	// x entirely below y: the "less" alternative should be overwhelmingly
+	// supported, the "greater" alternative rejected.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	y := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	less, err := MannWhitneyU(x, y, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less.P > 1e-3 {
+		t.Errorf("separated samples, alt=Less: p = %v, want tiny", less.P)
+	}
+	if less.U != 0 {
+		t.Errorf("U = %v, want 0 (x entirely below y)", less.U)
+	}
+	greater, err := MannWhitneyU(x, y, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greater.P < 0.99 {
+		t.Errorf("separated samples, alt=Greater: p = %v, want ~1", greater.P)
+	}
+}
+
+func TestMannWhitneyUIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejections := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		x := make([]float64, 30)
+		y := make([]float64, 30)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64()
+		}
+		res, err := MannWhitneyU(x, y, Less)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	// Under the null, ~5% of one-sided tests reject at 0.05. Allow slack.
+	rate := float64(rejections) / trials
+	if rate > 0.09 {
+		t.Errorf("null rejection rate = %v, want ≈0.05", rate)
+	}
+}
+
+func TestMannWhitneyUStatisticIdentity(t *testing.T) {
+	// U1 + U2 = n1*n2 always.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n1 := 3 + rng.Intn(20)
+		n2 := 3 + rng.Intn(20)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = math.Floor(rng.Float64() * 8) // with ties
+		}
+		for i := range y {
+			y[i] = math.Floor(rng.Float64() * 8)
+		}
+		rx, err := MannWhitneyU(x, y, TwoSided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ry, err := MannWhitneyU(y, x, TwoSided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(rx.U+ry.U, float64(n1*n2), 1e-9) {
+			t.Fatalf("U1+U2 = %v, want %v", rx.U+ry.U, n1*n2)
+		}
+		// Two-sided p must agree regardless of argument order.
+		if !almostEqual(rx.P, ry.P, 1e-9) {
+			t.Fatalf("two-sided p asymmetric: %v vs %v", rx.P, ry.P)
+		}
+	}
+}
+
+func TestMannWhitneyUHandComputed(t *testing.T) {
+	// x = {1,2,3}, y = {4,5,6,7}: R1 = 6, U1 = 0, mu = 6, var = 3*4*8/12 = 8.
+	// z(Less) = (0 + 0.5 - 6)/sqrt(8) = -1.94454...
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6, 7}
+	res, err := MannWhitneyU(x, y, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	wantZ := (0.5 - 6) / math.Sqrt(8)
+	if !almostEqual(res.Z, wantZ, 1e-12) {
+		t.Errorf("Z = %v, want %v", res.Z, wantZ)
+	}
+	if !almostEqual(res.P, NormalCDF(wantZ), 1e-12) {
+		t.Errorf("P = %v, want %v", res.P, NormalCDF(wantZ))
+	}
+}
+
+func TestMannWhitneyUAllTied(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	y := []float64{5, 5, 5, 5}
+	res, err := MannWhitneyU(x, y, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied: p = %v, want 1 (no evidence)", res.P)
+	}
+}
+
+func TestMannWhitneyUTooFew(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{2, 3, 4}, Less); err == nil {
+		t.Error("want ErrTooFewSamples")
+	}
+}
+
+func TestAlternativeString(t *testing.T) {
+	if TwoSided.String() != "two-sided" || Less.String() != "less" || Greater.String() != "greater" {
+		t.Error("Alternative.String mismatch")
+	}
+	if Alternative(42).String() != "unknown" {
+		t.Error("unknown Alternative should stringify as unknown")
+	}
+}

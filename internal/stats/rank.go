@@ -1,0 +1,61 @@
+package stats
+
+import "sort"
+
+// Ranks assigns fractional (mid) ranks to xs: the smallest value gets rank 1,
+// and tied values all receive the average of the ranks they span. The result
+// is aligned with xs (ranks[i] is the rank of xs[i]).
+//
+// Fractional ranking is what both the Mann-Whitney U test and the Spearman
+// correlation coefficient require in the presence of ties.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	ranks := make([]float64, n)
+	if n == 0 {
+		return ranks
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) are tied; mid-rank is the average of
+		// 1-based ranks i+1..j+1.
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// TieGroups returns the sizes of the groups of tied values in xs
+// (groups of size 1 are omitted). It is used for the tie correction in the
+// Mann-Whitney U variance.
+func TieGroups(xs []float64) []int {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var groups []int
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		if j > i {
+			groups = append(groups, j-i+1)
+		}
+		i = j + 1
+	}
+	return groups
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	// Values: 1, 2, 2, 3  → ranks 1, 2.5, 2.5, 4
+	got := Ranks([]float64{2, 1, 3, 2})
+	want := []float64{2.5, 1, 4, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{5, 5, 5, 5})
+	for _, r := range got {
+		if r != 2.5 {
+			t.Fatalf("all-tied ranks = %v, want all 2.5", got)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	if got := Ranks(nil); len(got) != 0 {
+		t.Fatalf("Ranks(nil) = %v", got)
+	}
+}
+
+// Property: rank sum is always n(n+1)/2 regardless of ties.
+func TestRanksSumProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		ranks := Ranks(clean)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		n := float64(len(clean))
+		return almostEqual(sum, n*(n+1)/2, 1e-6*(n+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are order-preserving.
+func TestRanksOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64() * 10) // force ties
+		}
+		ranks := Ranks(xs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch {
+				case xs[i] < xs[j] && ranks[i] >= ranks[j]:
+					t.Fatalf("order violated: xs=%v ranks=%v", xs, ranks)
+				case xs[i] == xs[j] && ranks[i] != ranks[j]:
+					t.Fatalf("tie rank mismatch: xs=%v ranks=%v", xs, ranks)
+				}
+			}
+		}
+	}
+}
+
+func TestTieGroups(t *testing.T) {
+	got := TieGroups([]float64{1, 2, 2, 3, 3, 3, 4})
+	want := []int{2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("TieGroups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TieGroups = %v, want %v", got, want)
+		}
+	}
+	if got := TieGroups([]float64{1, 2, 3}); got != nil {
+		t.Fatalf("no ties: got %v", got)
+	}
+	if got := TieGroups(nil); got != nil {
+		t.Fatalf("empty: got %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math/rand"
+)
+
+// Bootstrap draws iters bootstrap resamples (with replacement) of xs and
+// returns stat evaluated on each. WeHe's original analysis uses bootstrap
+// to bound statistical error in throughput comparisons; we expose it for the
+// same purpose and for confidence intervals in the experiment harness.
+func Bootstrap(rng *rand.Rand, xs []float64, iters int, stat func([]float64) float64) []float64 {
+	n := len(xs)
+	out := make([]float64, iters)
+	buf := make([]float64, n)
+	for i := range out {
+		for j := range buf {
+			buf[j] = xs[rng.Intn(n)]
+		}
+		out[i] = stat(buf)
+	}
+	return out
+}
+
+// BootstrapCI returns the (lo, hi) percentile bootstrap confidence interval
+// at the given confidence level (e.g. 0.95) for stat over xs.
+func BootstrapCI(rng *rand.Rand, xs []float64, iters int, level float64, stat func([]float64) float64) (lo, hi float64) {
+	samples := Bootstrap(rng, xs, iters, stat)
+	alpha := (1 - level) / 2
+	return Quantile(samples, alpha), Quantile(samples, 1-alpha)
+}
+
+// Jackknife returns the leave-one-out estimates of stat over xs:
+// element i is stat(xs with xs[i] removed).
+func Jackknife(xs []float64, stat func([]float64) float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	buf := make([]float64, 0, n-1)
+	for i := range xs {
+		buf = buf[:0]
+		buf = append(buf, xs[:i]...)
+		buf = append(buf, xs[i+1:]...)
+		out[i] = stat(buf)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+)
+
+// SpearmanResult holds a Spearman rank-correlation estimate and its p-value.
+type SpearmanResult struct {
+	Rho float64 // Spearman correlation coefficient in [-1, 1]
+	T   float64 // t statistic used for the p-value
+	P   float64 // p-value under the requested alternative
+	N   int     // number of paired observations
+}
+
+// Spearman computes the Spearman rank correlation between the paired samples
+// x and y, with the p-value from the t-distribution approximation
+//
+//	t = ρ √((n−2)/(1−ρ²)),   df = n−2.
+//
+// Alg. 1 of the paper rejects its null hypothesis ("the two loss-rate time
+// series are not correlated") when this p-value is below the acceptable
+// false-positive rate. The paper looks for loss rates that "increase and
+// decrease together", i.e. positive correlation, so its callers use
+// alt == Greater.
+//
+// Spearman is chosen over Pearson because it is normalized (captures trend,
+// not absolute-value similarity) and is the correlation metric least
+// sensitive to strong outliers.
+func Spearman(x, y []float64, alt Alternative) (SpearmanResult, error) {
+	if len(x) != len(y) {
+		return SpearmanResult{}, errLenMismatch
+	}
+	n := len(x)
+	if n < 4 {
+		return SpearmanResult{}, ErrTooFewSamples
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	rho := pearson(rx, ry)
+	res := SpearmanResult{Rho: rho, N: n}
+
+	df := float64(n - 2)
+	switch {
+	case math.IsNaN(rho):
+		// A constant series has no defined correlation; report no evidence.
+		res.P = 1
+		return res, nil
+	case rho >= 1:
+		res.T = math.Inf(1)
+	case rho <= -1:
+		res.T = math.Inf(-1)
+	default:
+		res.T = rho * math.Sqrt(df/(1-rho*rho))
+	}
+
+	switch alt {
+	case Greater:
+		res.P = 1 - StudentTCDF(res.T, df)
+	case Less:
+		res.P = StudentTCDF(res.T, df)
+	default:
+		res.P = 2 * (1 - StudentTCDF(math.Abs(res.T), df))
+	}
+	res.P = clampProb(res.P)
+	return res, nil
+}
+
+// Pearson computes the Pearson product-moment correlation of x and y.
+// It is exposed for the ablation benchmarks that compare Alg. 1 against a
+// Pearson-based variant.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errLenMismatch
+	}
+	if len(x) < 2 {
+		return 0, ErrTooFewSamples
+	}
+	return pearson(x, y), nil
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+var errLenMismatch = errorString("stats: paired samples have different lengths")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	yUp := []float64{10, 20, 30, 40, 50, 60}
+	yDown := []float64{60, 50, 40, 30, 20, 10}
+
+	up, err := Spearman(x, yUp, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(up.Rho, 1, 1e-12) {
+		t.Errorf("rho = %v, want 1", up.Rho)
+	}
+	if up.P > 1e-9 {
+		t.Errorf("perfect positive, alt=Greater: p = %v, want ~0", up.P)
+	}
+
+	down, err := Spearman(x, yDown, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(down.Rho, -1, 1e-12) {
+		t.Errorf("rho = %v, want -1", down.Rho)
+	}
+	if down.P < 1-1e-9 {
+		t.Errorf("perfect negative, alt=Greater: p = %v, want ~1", down.P)
+	}
+}
+
+func TestSpearmanNonlinearMonotone(t *testing.T) {
+	// Spearman captures trend, not linearity: rho of x vs exp(x) is exactly 1.
+	x := []float64{0.5, 1, 2, 3, 4, 5, 7}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = math.Exp(x[i])
+	}
+	res, err := Spearman(x, y, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Rho, 1, 1e-12) {
+		t.Errorf("rho = %v, want 1 for monotone transform", res.Rho)
+	}
+}
+
+func TestSpearmanHandComputed(t *testing.T) {
+	// x = 1..5, y = {1,2,3,5,4}: Σd² = 2, rho = 1 − 6·2/(5·24) = 0.9.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 2, 3, 5, 4}
+	res, err := Spearman(x, y, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Rho, 0.9, 1e-12) {
+		t.Errorf("rho = %v, want 0.9", res.Rho)
+	}
+	// t = 0.9·sqrt(3/0.19); p two-sided from the df=3 closed form.
+	wantT := 0.9 * math.Sqrt(3/(1-0.81))
+	if !almostEqual(res.T, wantT, 1e-12) {
+		t.Errorf("T = %v, want %v", res.T, wantT)
+	}
+	wantP := 2 * (1 - tCDF3(wantT))
+	if !almostEqual(res.P, wantP, 1e-10) {
+		t.Errorf("P = %v, want %v", res.P, wantP)
+	}
+}
+
+func TestSpearmanUncorrelatedNullRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rejections := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x[j] = rng.Float64()
+			y[j] = rng.Float64()
+		}
+		res, err := Spearman(x, y, Greater)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.09 {
+		t.Errorf("null rejection rate = %v, want ≈0.05", rate)
+	}
+}
+
+func TestSpearmanConstantSeries(t *testing.T) {
+	x := []float64{1, 1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4, 5}
+	res, err := Spearman(x, y, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("constant series: p = %v, want 1 (no evidence)", res.P)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1, 2}, []float64{1, 2, 3}, Greater); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Spearman([]float64{1, 2, 3}, []float64{1, 2, 3}, Greater); err == nil {
+		t.Error("n<4 should error")
+	}
+}
+
+func TestSpearmanRhoRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for j := 0; j < n; j++ {
+			x[j] = math.Floor(rng.Float64() * 6) // ties
+			y[j] = math.Floor(rng.Float64() * 6)
+		}
+		res, err := Spearman(x, y, TwoSided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(res.Rho) && (res.Rho < -1-1e-12 || res.Rho > 1+1e-12) {
+			t.Fatalf("rho = %v outside [-1,1]", res.Rho)
+		}
+		if res.P < 0 || res.P > 1 {
+			t.Fatalf("p = %v outside [0,1]", res.P)
+		}
+	}
+}
+
+func TestPearsonBasics(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	if _, err := Pearson(x, y[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("n<2 should error")
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs, or NaN when
+// fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile for an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	switch {
+	case q <= 0:
+		return sorted[0]
+	case q >= 1:
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxplotStats summarizes a sample the way a Tukey boxplot draws it:
+// quartiles, whiskers at the last datum within 1.5 IQR of the box, and the
+// points beyond the whiskers as outliers. Figure 5 of the paper is rendered
+// from these.
+type BoxplotStats struct {
+	Min, Q1, Median, Q3, Max float64 // Min/Max over the full sample
+	WhiskerLo, WhiskerHi     float64 // whisker positions
+	Outliers                 []float64
+	N                        int
+}
+
+// Boxplot computes BoxplotStats for xs. It returns a zero-value struct with
+// N == 0 for an empty sample.
+func Boxplot(xs []float64) BoxplotStats {
+	if len(xs) == 0 {
+		return BoxplotStats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := BoxplotStats{
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLo = b.Max // will be lowered below
+	b.WhiskerHi = b.Min
+	for _, v := range sorted {
+		if v >= loFence && v < b.WhiskerLo {
+			b.WhiskerLo = v
+		}
+		if v <= hiFence && v > b.WhiskerHi {
+			b.WhiskerHi = v
+		}
+		if v < loFence || v > hiFence {
+			b.Outliers = append(b.Outliers, v)
+		}
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Σ(x−5)² = 9+1+1+1+0+0+4+16 = 32; var = 32/7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 100}
+	b := Boxplot(xs)
+	if b.N != 8 || b.Min != 1 || b.Max != 100 {
+		t.Fatalf("basic fields wrong: %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHi >= 100 {
+		t.Errorf("upper whisker %v should exclude the outlier", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Errorf("lower whisker = %v, want 1", b.WhiskerLo)
+	}
+	if b.Q1 > b.Median || b.Median > b.Q3 {
+		t.Errorf("quartile ordering violated: %+v", b)
+	}
+	empty := Boxplot(nil)
+	if empty.N != 0 {
+		t.Errorf("empty boxplot: %+v", empty)
+	}
+}
+
+func TestBoxplotInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		b := Boxplot(xs)
+		if !(b.Min <= b.WhiskerLo && b.WhiskerLo <= b.Q1 && b.Q1 <= b.Median &&
+			b.Median <= b.Q3 && b.Q3 <= b.WhiskerHi && b.WhiskerHi <= b.Max) {
+			t.Fatalf("ordering invariant violated: %+v", b)
+		}
+		iqr := b.Q3 - b.Q1
+		for _, o := range b.Outliers {
+			if o >= b.Q1-1.5*iqr && o <= b.Q3+1.5*iqr {
+				t.Fatalf("non-outlier %v reported as outlier: %+v", o, b)
+			}
+		}
+	}
+}
+
+func TestEmpiricalCDFAndQuantile(t *testing.T) {
+	e := NewEmpirical([]float64{3, 1, 2, 2})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if got := e.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := e.CDF(2); got != 0.75 {
+		t.Errorf("CDF(2) = %v, want 0.75", got)
+	}
+	if got := e.CDF(3); got != 1 {
+		t.Errorf("CDF(3) = %v, want 1", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v", got)
+	}
+	if lo, hi := e.Support(); lo != 1 || hi != 3 {
+		t.Errorf("Support = %v, %v", lo, hi)
+	}
+	xs, fs := e.CDFPoints()
+	if len(xs) != 3 || fs[len(fs)-1] != 1 {
+		t.Errorf("CDFPoints = %v %v", xs, fs)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Errorf("CDFPoints xs not sorted: %v", xs)
+	}
+}
+
+func TestEmpiricalKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	e := NewEmpirical(xs)
+	grid := Linspace(-6, 6, 601)
+	pdf := e.KDE(grid)
+	var integral float64
+	for i := 1; i < len(grid); i++ {
+		integral += (pdf[i] + pdf[i-1]) / 2 * (grid[i] - grid[i-1])
+	}
+	if !almostEqual(integral, 1, 0.02) {
+		t.Errorf("KDE integral = %v, want ≈1", integral)
+	}
+	for _, v := range pdf {
+		if v < 0 {
+			t.Fatalf("negative density %v", v)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", got)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("n=1: %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+package testbed
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/core"
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// TestLossTrendOverRealSockets is the end-to-end FN check on the real
+// network stack: two reliable replays run *simultaneously* through the
+// same middlebox TBF, which other traffic of the throttled service also
+// crosses (collective throttling). The loss-trend correlation algorithm
+// must detect the shared bottleneck from the servers' retransmission logs.
+//
+// The background matters: with the two replays *alone* on the policer,
+// token contention is zero-sum and their loss rates anticorrelate — the
+// per-flow-throttling limitation the paper spells out in §3.2/§7. Alg. 1
+// explicitly assumes the replays are a small fraction of the bottleneck's
+// traffic (§4.2).
+func TestLossTrendOverRealSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-time replay")
+	}
+	tr := genTrace(t, "netflix", 10*time.Second)
+	mb := NewMiddlebox(MiddleboxConfig{
+		Delay: 15 * time.Millisecond, // 30 ms base RTT, as on a real WAN path
+		SNIs:  SNIsForApps("netflix"),
+		Rate:  16e6,
+		Burst: 60000,
+	})
+	defer mb.Close()
+
+	const dur = 40 * time.Second
+	// Rate-modulated background of the same service (SNI-matched), the
+	// "other users" whose load drives the shared loss-rate trend.
+	bg := modulatedTrace("netflix", 13e6, dur+time.Second)
+
+	var wg sync.WaitGroup
+	results := make([]ReplayResult, 2)
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunDatagramReplay(context.Background(), mb, "bg", bg, dur+time.Second, 99) //nolint:errcheck
+	}()
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := []string{"p1", "p2"}[i]
+			// App-limited at ~2 Mbit/s: the replays must be a small
+			// fraction of the bottleneck traffic for Alg. 1 (§4.2).
+			results[i], errs[i] = RunReliableReplayOpts(context.Background(), mb, name, tr, dur, uint32(i+1),
+				ReliableOpts{AppRate: 2.5e6})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+	}
+
+	m1, m2 := results[0].Measurements, results[1].Measurements
+	if len(m1.Loss) == 0 || len(m2.Loss) == 0 {
+		t.Fatalf("no loss events registered: %d/%d", len(m1.Loss), len(m2.Loss))
+	}
+	// Base RTT through the middlebox is ~30 ms plus socket overhead.
+	m1.RTT, m2.RTT = 35*time.Millisecond, 35*time.Millisecond
+
+	res, err := core.LossTrendCorrelation(&m1, &m2, core.LossTrendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verdict=%v, correlated %d/%d sizes; loss rates %.3f / %.3f",
+		res.CommonBottleneck, res.Correlations, res.Sizes, m1.LossRate(), m2.LossRate())
+	for _, v := range res.PerSize {
+		t.Logf("  σ=%v n=%d rho=%.3f p=%.4f", v.Sigma, v.Intervals, v.Rho, v.P)
+	}
+	// Nearly every interval size must show significant positive
+	// correlation. The smallest sizes are allowed to be inconclusive: our
+	// transport registers losses in go-back-N bursts, whose timing jitter
+	// is coarser than kernel TCP's dupACK-based registration, so the §4.2
+	// small-interval desynchronization bites slightly earlier than in the
+	// paper's testbed (real wall-clock scheduling noise varies run to run).
+	if res.Correlations < res.Sizes-2 {
+		t.Errorf("real-socket common bottleneck evidence too weak: %d/%d sizes", res.Correlations, res.Sizes)
+	}
+	positive := 0
+	for _, v := range res.PerSize {
+		if v.Rho > 0 {
+			positive++
+		}
+	}
+	if positive < res.Sizes-1 {
+		t.Errorf("only %d/%d sizes show positive correlation", positive, res.Sizes)
+	}
+}
+
+// TestThroughputComparisonOverRealSockets checks the §4.1 signal on real
+// sockets: the aggregate throughput of two simultaneous replays through a
+// shared TBF approximates a single replay's throughput through the same
+// TBF (the per-client-throttling signature).
+func TestThroughputComparisonOverRealSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-time replay")
+	}
+	tr := genTrace(t, "netflix", 10*time.Second)
+	cfg := MiddleboxConfig{
+		Delay: 5 * time.Millisecond,
+		SNIs:  SNIsForApps("netflix"),
+		Rate:  3e6,
+		Burst: 8000,
+	}
+	const dur = 7 * time.Second
+
+	// Single replay.
+	mbA := NewMiddlebox(cfg)
+	single, err := RunReliableReplay(context.Background(), mbA, "p0", tr, dur, 1)
+	mbA.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simultaneous replays through a fresh, identically configured box.
+	mbB := NewMiddlebox(cfg)
+	defer mbB.Close()
+	var wg sync.WaitGroup
+	results := make([]ReplayResult, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := []string{"p1", "p2"}[i]
+			results[i], _ = RunReliableReplay(context.Background(), mbB, name, tr, dur, uint32(i+1))
+		}()
+	}
+	wg.Wait()
+
+	x := single.Throughput.Mean()
+	y := measure.Throughput{Samples: measure.SumSamples(results[0].Throughput.Samples, results[1].Throughput.Samples)}.Mean()
+	if x == 0 || y == 0 {
+		t.Fatal("zero throughput")
+	}
+	rel := (x - y) / x
+	if rel < 0 {
+		rel = -rel
+	}
+	t.Logf("single %.2f Mbit/s vs aggregate simultaneous %.2f Mbit/s (rel diff %.1f%%)", x/1e6, y/1e6, rel*100)
+	// Generous bound: `go test ./...` runs packages concurrently, and CPU
+	// contention visibly skews real-time replays; the simulator-based
+	// tests assert the tight version of this property.
+	if rel > 0.45 {
+		t.Errorf("aggregate simultaneous throughput should approximate the single replay's: %.2f vs %.2f", y/1e6, x/1e6)
+	}
+}
+
+// modulatedTrace builds a synthetic same-service datagram stream whose
+// rate wanders around mean (bits/s) at ~1 s timescales — the load signal
+// that makes the shared bottleneck's loss rate trend.
+func modulatedTrace(app string, mean float64, dur time.Duration) *trace.Trace {
+	prof, _ := trace.ProfileByName(app)
+	tr := &trace.Trace{App: app + "-bg", Transport: trace.UDP, SNI: prof.SNI}
+	// SNI-bearing first packet so the middlebox DPI classifies the flow.
+	hello := trace.HandshakePayload(prof.SNI)
+	tr.Packets = append(tr.Packets, trace.Packet{
+		Offset: 0, Size: len(hello), Dir: trace.ServerToClient, Payload: hello,
+	})
+	rng := rand.New(rand.NewSource(99))
+	const pkt = 1200
+	factor := 1.0
+	next := time.Duration(0)
+	lastMod := time.Duration(0)
+	for next < dur {
+		if next-lastMod >= time.Second {
+			factor += -0.3*(factor-1) + rng.NormFloat64()*0.3
+			if factor < 0.5 {
+				factor = 0.5
+			}
+			if factor > 1.4 {
+				factor = 1.4
+			}
+			lastMod = next
+		}
+		gap := time.Duration(float64(pkt*8) / (mean * factor) * float64(time.Second))
+		next += gap
+		tr.Packets = append(tr.Packets, trace.Packet{
+			Offset: next, Size: pkt, Dir: trace.ServerToClient,
+		})
+	}
+	return tr
+}

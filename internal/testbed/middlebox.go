@@ -1,0 +1,344 @@
+// Package testbed assembles WeHeY's loopback testbed: replay servers and a
+// client exchanging real UDP datagrams through an in-path middlebox that
+// applies the paper's differentiation pipeline (§C.1) — a DPI classifier
+// matching SNI tokens, a token-bucket filter policing/shaping the matched
+// flows, and a base propagation delay. It stands in for the paper's
+// GCP-to-cellular wide-area testbed with Linux tc rate limiting (§6.2); see
+// DESIGN.md §1 for the substitution rationale.
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// MiddleboxConfig configures the in-path differentiation device.
+type MiddleboxConfig struct {
+	// Delay is the one-way propagation delay added in each direction
+	// (default 10 ms → 20 ms base RTT through the box).
+	Delay time.Duration
+	// SNIs lists the service tokens the DPI classifier throttles; a flow
+	// is marked differentiated when an early packet's payload contains one
+	// of them. Bit-inverted replays never match (§2.1).
+	SNIs []string
+	// Rate is the TBF throttling rate in bits/s; 0 disables throttling.
+	Rate float64
+	// Burst is the bucket size in bytes (rate×RTT in the paper's setups).
+	Burst int
+	// QueueLimit is the TBF queue in bytes; 0 = pure policer.
+	QueueLimit int
+	// DPIWindow is how many leading packets of a flow the classifier
+	// inspects (default 4).
+	DPIWindow int
+}
+
+func (c *MiddleboxConfig) fill() {
+	if c.Delay <= 0 {
+		c.Delay = 10 * time.Millisecond
+	}
+	if c.DPIWindow <= 0 {
+		c.DPIWindow = 4
+	}
+}
+
+// Middlebox is a UDP proxy: the client talks to the middlebox's client-side
+// address; each server flow gets a dedicated proxy port pair. Downstream
+// (server→client) traffic of DPI-matched flows passes through a shared
+// token-bucket filter; everything else is only delayed.
+type Middlebox struct {
+	cfg MiddleboxConfig
+
+	mu     sync.Mutex
+	tokens float64
+	refill time.Time
+	queued int // bytes in the shaper queue
+
+	// Stats.
+	Matched    atomic.Int64
+	Bypassed   atomic.Int64
+	Dropped    atomic.Int64
+	Forwarded  atomic.Int64
+	flows      map[string]*mbFlow
+	wg         sync.WaitGroup
+	done       chan struct{}
+	closeOnce  sync.Once
+	listeners  []*net.UDPConn
+	downstream []*flowProxy
+}
+
+type mbFlow struct {
+	inspected int
+	matched   bool
+}
+
+// NewMiddlebox creates the device (no sockets yet; AddFlow wires each
+// server↔client pair).
+func NewMiddlebox(cfg MiddleboxConfig) *Middlebox {
+	cfg.fill()
+	m := &Middlebox{
+		cfg:    cfg,
+		tokens: float64(cfg.Burst),
+		refill: time.Now(),
+		flows:  make(map[string]*mbFlow),
+		done:   make(chan struct{}),
+	}
+	return m
+}
+
+// flowProxy relays one server↔client pair through two UDP sockets. The
+// learned peer addresses are written by one relay goroutine and read by
+// the other (and by delayed delivery timers), hence atomic.
+type flowProxy struct {
+	name       string
+	serverSide *net.UDPConn // talks to the server
+	clientSide *net.UDPConn // talks to the client
+	serverAddr atomic.Pointer[net.UDPAddr]
+	clientAddr atomic.Pointer[net.UDPAddr]
+
+	mu      sync.Mutex
+	lastOut time.Time   // monotonic downstream delivery (links are FIFO)
+	out     chan outPkt // downstream delivery queue, drained by one worker
+}
+
+type outPkt struct {
+	at  time.Time
+	pkt []byte
+}
+
+// AddFlow creates the proxy sockets for one flow. The returned addresses
+// are where the server and the client must send their datagrams.
+func (m *Middlebox) AddFlow(name string) (serverFacing, clientFacing *net.UDPAddr, err error) {
+	ssConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed: %w", err)
+	}
+	csConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		ssConn.Close()
+		return nil, nil, fmt.Errorf("testbed: %w", err)
+	}
+	fp := &flowProxy{name: name, serverSide: ssConn, clientSide: csConn, out: make(chan outPkt, 8192)}
+	m.mu.Lock()
+	m.flows[name] = &mbFlow{}
+	m.downstream = append(m.downstream, fp)
+	m.listeners = append(m.listeners, ssConn, csConn)
+	m.mu.Unlock()
+
+	m.wg.Add(3)
+	go m.relayDownstream(fp)
+	go m.relayUpstream(fp)
+	go m.deliveryWorker(fp)
+	return ssConn.LocalAddr().(*net.UDPAddr), csConn.LocalAddr().(*net.UDPAddr), nil
+}
+
+// relayDownstream forwards server→client with classification + TBF + delay.
+func (m *Middlebox) relayDownstream(fp *flowProxy) {
+	defer m.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-m.done:
+			return
+		default:
+		}
+		fp.serverSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		n, addr, err := fp.serverSide.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		fp.serverAddr.Store(addr)
+		if fp.clientAddr.Load() == nil {
+			continue // client hasn't spoken yet; drop silently
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		m.processDownstream(fp, pkt)
+	}
+}
+
+// relayUpstream forwards client→server with delay only (ACKs and requests
+// are never differentiated in the paper's setups).
+func (m *Middlebox) relayUpstream(fp *flowProxy) {
+	defer m.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-m.done:
+			return
+		default:
+		}
+		fp.clientSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		n, addr, err := fp.clientSide.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		fp.clientAddr.Store(addr)
+		dst := fp.serverAddr.Load()
+		if dst == nil {
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		time.AfterFunc(m.cfg.Delay, func() {
+			fp.serverSide.WriteToUDP(pkt, dst) //nolint:errcheck
+		})
+	}
+}
+
+// processDownstream classifies and throttles one server→client datagram.
+func (m *Middlebox) processDownstream(fp *flowProxy, pkt []byte) {
+	m.mu.Lock()
+	fl := m.flows[fp.name]
+	if fl.inspected < m.cfg.DPIWindow {
+		fl.inspected++
+		if m.dpiMatch(pkt) {
+			fl.matched = true
+		}
+	}
+	throttle := fl.matched && m.cfg.Rate > 0
+	if !throttle {
+		m.Bypassed.Add(1)
+		m.mu.Unlock()
+		m.deliverAfter(fp, pkt, m.cfg.Delay)
+		return
+	}
+	m.Matched.Add(1)
+	// Token bucket.
+	now := time.Now()
+	m.tokens += m.cfg.Rate / 8 * now.Sub(m.refill).Seconds()
+	if m.tokens > float64(m.cfg.Burst) {
+		m.tokens = float64(m.cfg.Burst)
+	}
+	m.refill = now
+	size := float64(len(pkt))
+	if m.tokens >= size && m.queued == 0 {
+		m.tokens -= size
+		m.Forwarded.Add(1)
+		m.mu.Unlock()
+		m.deliverAfter(fp, pkt, m.cfg.Delay)
+		return
+	}
+	// Not enough tokens: queue (shaper) or drop (policer).
+	if m.queued+len(pkt) > m.cfg.QueueLimit {
+		m.Dropped.Add(1)
+		m.mu.Unlock()
+		return
+	}
+	m.queued += len(pkt)
+	need := size - m.tokens
+	m.tokens -= size // pre-charge; the wait accrues the difference
+	wait := time.Duration(need / (m.cfg.Rate / 8) * float64(time.Second))
+	m.Forwarded.Add(1)
+	m.mu.Unlock()
+	m.deliverAfter(fp, pkt, m.cfg.Delay+wait)
+	time.AfterFunc(wait, func() {
+		m.mu.Lock()
+		m.queued -= len(pkt)
+		m.mu.Unlock()
+	})
+}
+
+func (m *Middlebox) dpiMatch(pkt []byte) bool {
+	// Skip the transport header when present; DPI scans payload bytes.
+	body := pkt
+	if len(pkt) > headerishSize {
+		body = pkt[headerishSize:]
+	}
+	s := string(body)
+	for _, sni := range m.cfg.SNIs {
+		if sni != "" && strings.Contains(s, sni) {
+			return true
+		}
+	}
+	return false
+}
+
+// headerishSize mirrors the transport wire header length so DPI scans the
+// application payload. Scanning a few extra bytes is harmless: SNI tokens
+// never collide with the binary header.
+const headerishSize = 26
+
+// deliverAfter schedules a downstream delivery. A single worker goroutine
+// drains the per-flow queue in order — links are FIFO, and gap-based loss
+// detection at the client relies on that (concurrent timers would race and
+// reorder packets with nearby deadlines).
+func (m *Middlebox) deliverAfter(fp *flowProxy, pkt []byte, d time.Duration) {
+	fp.mu.Lock()
+	at := time.Now().Add(d)
+	if at.Before(fp.lastOut) {
+		at = fp.lastOut
+	}
+	fp.lastOut = at
+	fp.mu.Unlock()
+	select {
+	case fp.out <- outPkt{at: at, pkt: pkt}:
+	default:
+		m.Dropped.Add(1) // device buffer overflow
+	}
+}
+
+func (m *Middlebox) deliveryWorker(fp *flowProxy) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case op := <-fp.out:
+			if wait := time.Until(op.at); wait > 0 {
+				select {
+				case <-m.done:
+					return
+				case <-time.After(wait):
+				}
+			}
+			if dst := fp.clientAddr.Load(); dst != nil {
+				fp.clientSide.WriteToUDP(op.pkt, dst) //nolint:errcheck
+			}
+		}
+	}
+}
+
+// FlowMatched reports whether the named flow was classified as
+// differentiated.
+func (m *Middlebox) FlowMatched(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fl, ok := m.flows[name]
+	return ok && fl.matched
+}
+
+// Close tears down the proxy sockets and goroutines.
+func (m *Middlebox) Close() {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		m.mu.Lock()
+		ls := append([]*net.UDPConn(nil), m.listeners...)
+		m.mu.Unlock()
+		for _, l := range ls {
+			l.Close()
+		}
+		m.wg.Wait()
+	})
+}
+
+// SNIsForApps returns the SNI tokens of the named applications, for
+// configuring the classifier the way a differentiating ISP would.
+func SNIsForApps(apps ...string) []string {
+	var out []string
+	for _, a := range apps {
+		if p, err := trace.ProfileByName(a); err == nil {
+			out = append(out, p.SNI)
+		}
+	}
+	return out
+}

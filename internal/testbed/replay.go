@@ -1,0 +1,179 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/trace"
+	"github.com/nal-epfl/wehey/internal/transport"
+)
+
+// ReplayResult is what one replay through the testbed yields: client-side
+// throughput samples (WeHe's 100 intervals), the packet-loss measurement
+// record for the detection algorithms, and the §C.2-style summary metrics.
+type ReplayResult struct {
+	Throughput     measure.Throughput
+	Measurements   measure.Path
+	RetransRate    float64
+	QueueDelay     time.Duration // avg RTT − min RTT (reliable mode only)
+	DeliveredBytes int64
+}
+
+// connectedPair dials a UDP socket connected to addr.
+func connectedPair(addr *net.UDPAddr) (*net.UDPConn, error) {
+	c, err := net.DialUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}, addr)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	return c, nil
+}
+
+// punch teaches the middlebox the client's address before data flows.
+func punch(conn *net.UDPConn, connID uint32) {
+	hello := transport.HelloPacket(connID)
+	for i := 0; i < 3; i++ {
+		conn.Write(hello) //nolint:errcheck
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ReliableOpts tunes RunReliableReplayOpts.
+type ReliableOpts struct {
+	// AppRate feeds the transfer at this application rate (bits/s);
+	// 0 = backlogged bulk.
+	AppRate float64
+}
+
+// RunReliableReplay replays a TCP-style trace through the middlebox using
+// the reliable transport: the server pushes the trace's downstream bytes
+// under congestion control with pacing for dur (repeating the payload as
+// needed, §3.4), the client acknowledges, and the server's retransmission
+// decisions become the loss log.
+func RunReliableReplay(ctx context.Context, mb *Middlebox, flowName string, tr *trace.Trace, dur time.Duration, connID uint32) (ReplayResult, error) {
+	return RunReliableReplayOpts(ctx, mb, flowName, tr, dur, connID, ReliableOpts{})
+}
+
+// RunReliableReplayOpts is RunReliableReplay with options.
+func RunReliableReplayOpts(ctx context.Context, mb *Middlebox, flowName string, tr *trace.Trace, dur time.Duration, connID uint32, opts ReliableOpts) (ReplayResult, error) {
+	serverFacing, clientFacing, err := mb.AddFlow(flowName)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	serverConn, err := connectedPair(serverFacing)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer serverConn.Close()
+	clientConn, err := connectedPair(clientFacing)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer clientConn.Close()
+
+	var hello []byte
+	if len(tr.Packets) > 0 {
+		hello = tr.Packets[0].Payload
+	}
+	sender := transport.NewSender(serverConn, transport.SenderConfig{
+		ConnID:  connID,
+		Hello:   hello,
+		AppRate: opts.AppRate,
+		// Replays last tens of seconds; a server silent for multiple
+		// seconds stops producing measurements, so cap the backoff the
+		// way the simulator does.
+		MaxRTO: time.Second,
+	})
+	receiver := transport.NewReceiver(clientConn)
+
+	punch(clientConn, connID)
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- receiver.Serve(rctx) }()
+
+	tctx, tcancel := context.WithTimeout(ctx, dur)
+	defer tcancel()
+	err = sender.Transfer(tctx, 0) // unlimited: run until the deadline
+	if err != nil && err != context.DeadlineExceeded {
+		return ReplayResult{}, err
+	}
+	cancel()
+	<-recvDone
+
+	minRTT, avgRTT := sender.MinAndAvgRTT()
+	res := ReplayResult{
+		Throughput:     measure.WeHeThroughput(receiver.Deliveries(), 0, dur),
+		Measurements:   sender.Measurements(dur, minRTTOrDefault(minRTT)),
+		RetransRate:    sender.RetransmissionRate(),
+		QueueDelay:     avgRTT - minRTT,
+		DeliveredBytes: receiver.DeliveredBytes(),
+	}
+	return res, nil
+}
+
+// RunDatagramReplay replays a UDP trace (typically Poisson-retimed)
+// through the middlebox: unreliable datagrams, client-side loss detection.
+func RunDatagramReplay(ctx context.Context, mb *Middlebox, flowName string, tr *trace.Trace, dur time.Duration, connID uint32) (ReplayResult, error) {
+	serverFacing, clientFacing, err := mb.AddFlow(flowName)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	serverConn, err := connectedPair(serverFacing)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer serverConn.Close()
+	clientConn, err := connectedPair(clientFacing)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer clientConn.Close()
+
+	sender := transport.NewDgramSender(serverConn, connID)
+	receiver := transport.NewDgramReceiver(clientConn)
+
+	punch(clientConn, connID)
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- receiver.Serve(rctx) }()
+
+	tctx, tcancel := context.WithTimeout(ctx, dur)
+	defer tcancel()
+	if err := sender.Replay(tctx, tr); err != nil && err != context.DeadlineExceeded {
+		return ReplayResult{}, err
+	}
+	// Let the pipe drain (base RTT + shaper backlog).
+	time.Sleep(mb.cfg.Delay*2 + 100*time.Millisecond)
+	cancel()
+	<-recvDone
+	receiver.Finish(sender.Sent(), dur)
+
+	sm := sender.Measurements(dur, 2*mb.cfg.Delay)
+	res := ReplayResult{
+		Throughput:     measure.WeHeThroughput(receiver.Deliveries(), 0, dur),
+		Measurements:   receiver.Measurements(sm.Tx, dur, 2*mb.cfg.Delay),
+		DeliveredBytes: deliveredBytes(receiver.Deliveries()),
+	}
+	return res, nil
+}
+
+func deliveredBytes(ds []measure.Delivery) int64 {
+	var total int64
+	for _, d := range ds {
+		total += int64(d.Bytes)
+	}
+	return total
+}
+
+func minRTTOrDefault(rtt time.Duration) time.Duration {
+	if rtt <= 0 {
+		return 20 * time.Millisecond
+	}
+	return rtt
+}

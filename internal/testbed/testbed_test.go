@@ -1,0 +1,154 @@
+package testbed
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+func genTrace(t *testing.T, app string, dur time.Duration) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(app, rand.New(rand.NewSource(1)), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMiddleboxPassThrough(t *testing.T) {
+	mb := NewMiddlebox(MiddleboxConfig{Delay: 5 * time.Millisecond})
+	defer mb.Close()
+	tr := genTrace(t, "netflix", 5*time.Second)
+	dur := 2 * time.Second
+	res, err := RunReliableReplay(context.Background(), mb, "f1", tr, dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredBytes == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Unthrottled loopback: substantial throughput, near-zero retrans.
+	if res.RetransRate > 0.05 {
+		t.Errorf("retrans rate = %v on a clean path", res.RetransRate)
+	}
+	if mb.Dropped.Load() != 0 {
+		t.Errorf("drops without a rate limiter: %d", mb.Dropped.Load())
+	}
+	if got := res.Throughput.Mean(); got < 1e6 {
+		t.Errorf("throughput %.2f Mbit/s, expected well above 1", got/1e6)
+	}
+}
+
+func TestMiddleboxDPIThrottlesOriginalOnly(t *testing.T) {
+	rate := 2e6
+	cfg := MiddleboxConfig{
+		Delay: 5 * time.Millisecond,
+		SNIs:  SNIsForApps("netflix"),
+		Rate:  rate,
+		Burst: 5000,
+	}
+	tr := genTrace(t, "netflix", 5*time.Second)
+	inv := trace.BitInvert(tr)
+	dur := 2500 * time.Millisecond
+
+	mb := NewMiddlebox(cfg)
+	defer mb.Close()
+	orig, err := RunReliableReplay(context.Background(), mb, "orig", tr, dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invRes, err := RunReliableReplay(context.Background(), mb, "inv", inv, dur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mb.FlowMatched("orig") {
+		t.Error("DPI missed the original trace's SNI")
+	}
+	if mb.FlowMatched("inv") {
+		t.Error("DPI matched the bit-inverted trace")
+	}
+	ot, it := orig.Throughput.Mean(), invRes.Throughput.Mean()
+	if ot > rate*1.4 {
+		t.Errorf("original throughput %.2f Mbit/s exceeds the 2 Mbit/s policer", ot/1e6)
+	}
+	if it < ot*1.5 {
+		t.Errorf("inverted (%.2f) should be much faster than original (%.2f)", it/1e6, ot/1e6)
+	}
+	if orig.RetransRate == 0 {
+		t.Error("no retransmissions under policing")
+	}
+	if len(orig.Measurements.Loss) == 0 {
+		t.Error("no loss events registered")
+	}
+}
+
+func TestMiddleboxShaperAddsDelayNotLoss(t *testing.T) {
+	rate := 3e6
+	tr := genTrace(t, "netflix", 5*time.Second)
+	dur := 2 * time.Second
+
+	policer := NewMiddlebox(MiddleboxConfig{Delay: 5 * time.Millisecond, SNIs: SNIsForApps("netflix"), Rate: rate, Burst: 5000})
+	defer policer.Close()
+	pRes, err := RunReliableReplay(context.Background(), policer, "p", tr, dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaper := NewMiddlebox(MiddleboxConfig{Delay: 5 * time.Millisecond, SNIs: SNIsForApps("netflix"), Rate: rate, Burst: 5000, QueueLimit: 120000})
+	defer shaper.Close()
+	sRes, err := RunReliableReplay(context.Background(), shaper, "s", tr, dur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TCP is closed-loop, so raw drop counts are noisy between the two
+	// devices; the robust distinction is queueing delay — the shaper's
+	// deep queue inflates RTTs, the policer's zero queue cannot.
+	t.Logf("drops: shaper %d, policer %d", shaper.Dropped.Load(), policer.Dropped.Load())
+	if sRes.QueueDelay < 2*pRes.QueueDelay {
+		t.Errorf("shaper queue delay %v should far exceed policer's %v", sRes.QueueDelay, pRes.QueueDelay)
+	}
+	if sRes.QueueDelay < 20*time.Millisecond {
+		t.Errorf("shaper queueing delay %v, want substantial", sRes.QueueDelay)
+	}
+}
+
+func TestMiddleboxDatagramReplayLossDetection(t *testing.T) {
+	tr := genTrace(t, "zoom", 5*time.Second)
+	rate := tr.AvgRate(trace.ServerToClient) / 2 // 2x policing
+	mb := NewMiddlebox(MiddleboxConfig{
+		Delay: 5 * time.Millisecond,
+		SNIs:  SNIsForApps("zoom"),
+		Rate:  rate,
+		Burst: 4000,
+	})
+	defer mb.Close()
+	dur := 3 * time.Second
+	res, err := RunDatagramReplay(context.Background(), mb, "z", tr, dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mb.FlowMatched("z") {
+		t.Fatal("DPI missed the zoom handshake")
+	}
+	if mb.Dropped.Load() == 0 {
+		t.Fatal("policer dropped nothing")
+	}
+	lost := len(res.Measurements.Loss)
+	truth := int(mb.Dropped.Load())
+	// Client gap detection should closely track ground truth.
+	if lost < truth*8/10 || lost > truth*12/10 {
+		t.Errorf("client counted %d losses, middlebox dropped %d", lost, truth)
+	}
+	if got := res.Measurements.LossRate(); got < 0.25 || got > 0.7 {
+		t.Errorf("loss rate %v, want ≈0.5 under 2x policing", got)
+	}
+}
+
+func TestSNIsForApps(t *testing.T) {
+	got := SNIsForApps("netflix", "zoom", "bogus")
+	if len(got) != 2 {
+		t.Fatalf("SNIs = %v", got)
+	}
+}

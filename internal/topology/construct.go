@@ -1,0 +1,238 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ServerPair is a pair of M-Lab server sites whose paths to a destination
+// form a suitable Figure-1 topology.
+type ServerPair struct {
+	Server1 string `json:"server1"`
+	Server2 string `json:"server2"`
+	// ConvergeIP is one candidate intermediate node the two paths share
+	// inside the destination's ISP (evidence of requirement (a) of §3.1).
+	ConvergeIP string `json:"converge_ip"`
+}
+
+// Entry is one row of the topology database: a destination's prefix and
+// ASN plus the server pairs suitable for it.
+type Entry struct {
+	Prefix string       `json:"prefix"` // /24 or /48
+	ASN    uint32       `json:"asn"`
+	Pairs  []ServerPair `json:"pairs"`
+}
+
+// DB is the topology database produced by the TC module and queried by
+// clients before a simultaneous replay.
+type DB struct {
+	byPrefix map[string]*Entry
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{byPrefix: make(map[string]*Entry)}
+}
+
+// Lookup returns the suitable server pairs for a client IP, keyed by its
+// /24 (or /48) prefix. The second result reports whether the prefix is
+// known.
+func (db *DB) Lookup(clientIP string) (*Entry, bool) {
+	pfx, err := Prefix(clientIP)
+	if err != nil {
+		return nil, false
+	}
+	e, ok := db.byPrefix[pfx]
+	return e, ok
+}
+
+// Len returns the number of prefixes with at least one suitable pair.
+func (db *DB) Len() int { return len(db.byPrefix) }
+
+// Entries returns the rows sorted by prefix (for deterministic output).
+func (db *DB) Entries() []*Entry {
+	out := make([]*Entry, 0, len(db.byPrefix))
+	for _, e := range db.byPrefix {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// WriteJSON streams the database as a JSON array of entries.
+func (db *DB) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db.Entries())
+}
+
+// ReadDBJSON loads a database written by WriteJSON.
+func ReadDBJSON(r io.Reader) (*DB, error) {
+	var entries []*Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	db := NewDB()
+	for _, e := range entries {
+		db.byPrefix[e.Prefix] = e
+	}
+	return db, nil
+}
+
+// Construct runs the TC algorithm (§3.3 steps 1–4) over a set of usable
+// traceroutes and returns the topology database.
+//
+// For each destination d: collect the traceroutes to d (falling back to
+// traceroutes toward the same ASN when none target d directly); identify
+// candidate intermediate nodes (hops in d's ASN); and admit every
+// traceroute pair from distinct servers that (a) shares at least one
+// candidate intermediate node and (b) shares no node outside d's ISP.
+// Node identity is plain IP equality — the module deliberately does not
+// attempt alias resolution (§3.3).
+func Construct(trs []*Traceroute) *DB {
+	db := NewDB()
+	byDest := make(map[string][]*Traceroute)
+	for _, tr := range trs {
+		byDest[tr.DestIP] = append(byDest[tr.DestIP], tr)
+	}
+	for dest, direct := range byDest {
+		// Step 1's fallback (same-ASN traceroutes) applies only when no
+		// traceroute targets d at all — i.e. to destinations absent from
+		// this loop; a destination with a single usable traceroute gets no
+		// topology, which is what keeps the §3.3 suitable fraction below 1.
+		candidates := direct
+		pairs := suitablePairs(candidates, direct[0].DestASN)
+		if len(pairs) == 0 {
+			continue
+		}
+		pfx, err := Prefix(dest)
+		if err != nil {
+			continue
+		}
+		entry, ok := db.byPrefix[pfx]
+		if !ok {
+			entry = &Entry{Prefix: pfx, ASN: direct[0].DestASN}
+			db.byPrefix[pfx] = entry
+		}
+		entry.Pairs = append(entry.Pairs, pairs...)
+	}
+	// Deduplicate pairs per prefix (multiple destinations can share a /24).
+	for _, e := range db.byPrefix {
+		e.Pairs = dedupePairs(e.Pairs)
+	}
+	return db
+}
+
+// suitablePairs applies §3.3 step 3 to every pair combination.
+func suitablePairs(trs []*Traceroute, destASN uint32) []ServerPair {
+	var out []ServerPair
+	for i := 0; i < len(trs); i++ {
+		for j := i + 1; j < len(trs); j++ {
+			a, b := trs[i], trs[j]
+			if a.Server == b.Server {
+				continue
+			}
+			if conv, ok := SuitablePair(a, b, destASN); ok {
+				s1, s2 := a.Server, b.Server
+				if s2 < s1 {
+					s1, s2 = s2, s1
+				}
+				out = append(out, ServerPair{Server1: s1, Server2: s2, ConvergeIP: conv})
+			}
+		}
+	}
+	return out
+}
+
+// SuitablePair checks whether two traceroutes form a suitable topology for
+// a destination in destASN: they must share at least one candidate
+// intermediate node (a hop inside destASN) and no node outside destASN.
+// It returns one shared in-ISP node as the convergence witness.
+//
+// It is exported because the replay pipeline re-verifies suitability after
+// each simultaneous replay (§3.4 step 4).
+func SuitablePair(a, b *Traceroute, destASN uint32) (convergeIP string, ok bool) {
+	bHops := make(map[string]uint32, len(b.HopIPs))
+	for i, ip := range b.HopIPs {
+		bHops[ip] = b.HopASNs[i]
+	}
+	var converge string
+	for i, ip := range a.HopIPs {
+		if _, shared := bHops[ip]; !shared {
+			continue
+		}
+		if a.HopASNs[i] != destASN {
+			return "", false // common node outside the ISP
+		}
+		if converge == "" && ip != a.DestIP {
+			converge = ip
+		}
+	}
+	if converge == "" {
+		return "", false
+	}
+	return converge, true
+}
+
+func dedupePairs(pairs []ServerPair) []ServerPair {
+	seen := make(map[string]bool, len(pairs))
+	out := pairs[:0]
+	for _, p := range pairs {
+		k := p.Server1 + "|" + p.Server2
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Server1 != out[j].Server1 {
+			return out[i].Server1 < out[j].Server1
+		}
+		return out[i].Server2 < out[j].Server2
+	})
+	return out
+}
+
+// Merge folds another database into db (the TC module re-runs daily as
+// M-Lab publishes new traceroutes; merging keeps prior knowledge while
+// adding fresh pairs).
+func (db *DB) Merge(other *DB) {
+	for pfx, e := range other.byPrefix {
+		cur, ok := db.byPrefix[pfx]
+		if !ok {
+			cp := &Entry{Prefix: e.Prefix, ASN: e.ASN, Pairs: append([]ServerPair(nil), e.Pairs...)}
+			db.byPrefix[pfx] = cp
+			continue
+		}
+		cur.Pairs = dedupePairs(append(cur.Pairs, e.Pairs...))
+	}
+}
+
+// Invalidate removes a server pair for a client's prefix — the §3.4 step-4
+// reaction when post-replay traceroutes show the topology is no longer
+// suitable ("it discards the measurements and updates the topology
+// database"). Entries left with no pairs are removed entirely.
+func (db *DB) Invalidate(clientIP string, pair ServerPair) {
+	pfx, err := Prefix(clientIP)
+	if err != nil {
+		return
+	}
+	e, ok := db.byPrefix[pfx]
+	if !ok {
+		return
+	}
+	kept := e.Pairs[:0]
+	for _, p := range e.Pairs {
+		if p.Server1 == pair.Server1 && p.Server2 == pair.Server2 {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	e.Pairs = kept
+	if len(e.Pairs) == 0 {
+		delete(db.byPrefix, pfx)
+	}
+}

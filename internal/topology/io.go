@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The TC module's two input tables travel as JSON Lines — one raw
+// traceroute record per line, and the annotation table as a single JSON
+// object — standing in for the M-Lab BigQuery tables of §3.3.
+
+// WriteRawsJSONL writes raw traceroute records one per line.
+func WriteRawsJSONL(w io.Writer, raws []RawTraceroute) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range raws {
+		if err := enc.Encode(&raws[i]); err != nil {
+			return fmt.Errorf("topology: record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRawsJSONL reads records written by WriteRawsJSONL.
+func ReadRawsJSONL(r io.Reader) ([]RawTraceroute, error) {
+	var out []RawTraceroute
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec RawTraceroute
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("topology: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAnnotationsJSON writes the annotation table.
+func WriteAnnotationsJSON(w io.Writer, ann Annotations) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ann)
+}
+
+// ReadAnnotationsJSON reads the annotation table.
+func ReadAnnotationsJSON(r io.Reader) (Annotations, error) {
+	var ann Annotations
+	if err := json.NewDecoder(r).Decode(&ann); err != nil {
+		return nil, fmt.Errorf("topology: annotations: %w", err)
+	}
+	return ann, nil
+}

@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// SynthSpec parameterizes the synthetic Internet that stands in for the
+// M-Lab traceroute dataset (see DESIGN.md §1). The generated topology has
+// M-Lab-style server sites homed behind transit ASes, access ISPs with
+// core and aggregation routers, and clients behind aggregation routers.
+// The imperfections the TC module must filter are generated explicitly:
+// ISPs that blackhole ICMP near the client (violating condition (a)), IP
+// aliasing (violating condition (b)), and truncated traceroutes.
+type SynthSpec struct {
+	ISPs            int     // access ISPs (default 12)
+	ClientsPerISP   int     // default 25
+	Servers         int     // M-Lab server sites (default 8)
+	TransitASes     int     // default 4
+	CoresPerISP     int     // default 3
+	AggsPerISP      int     // default 6
+	TracesPerClient int     // traceroutes from distinct servers (default 3)
+	PICMPBlockISP   float64 // P(an ISP filters ICMP near clients) (default 0.25)
+	PAlias          float64 // P(a traceroute hits an aliased interface) (default 0.2)
+	PTruncate       float64 // P(a traceroute loses its tail) (default 0.15)
+	Start           time.Time
+}
+
+func (s *SynthSpec) fill() {
+	if s.ISPs <= 0 {
+		s.ISPs = 12
+	}
+	if s.ClientsPerISP <= 0 {
+		s.ClientsPerISP = 25
+	}
+	if s.Servers <= 0 {
+		s.Servers = 8
+	}
+	if s.TransitASes <= 0 {
+		s.TransitASes = 4
+	}
+	if s.CoresPerISP <= 0 {
+		s.CoresPerISP = 3
+	}
+	if s.AggsPerISP <= 0 {
+		s.AggsPerISP = 6
+	}
+	if s.TracesPerClient <= 0 {
+		s.TracesPerClient = 3
+	}
+	if s.PICMPBlockISP == 0 {
+		s.PICMPBlockISP = 0.45
+	}
+	if s.PAlias == 0 {
+		s.PAlias = 0.25
+	}
+	if s.PTruncate == 0 {
+		s.PTruncate = 0.25
+	}
+	if s.Start.IsZero() {
+		s.Start = time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// Client is one synthetic client with its ground truth.
+type Client struct {
+	IP  string
+	ISP int // index of its access ISP
+	Agg int // aggregation router index within the ISP
+}
+
+// SynthNet is the generated dataset plus ground truth for evaluating the
+// TC module.
+type SynthNet struct {
+	Spec        SynthSpec
+	Raws        []RawTraceroute
+	Annotations Annotations
+	Clients     []Client
+	ISPASNs     []uint32
+}
+
+const (
+	transitASNBase = 1000
+	ispASNBase     = 6000
+	serverASNBase  = 9000
+)
+
+// Synthesize builds the synthetic Internet and a month's worth of
+// traceroute records over it.
+func Synthesize(rng *rand.Rand, spec SynthSpec) *SynthNet {
+	spec.fill()
+	net := &SynthNet{Spec: spec, Annotations: make(Annotations)}
+
+	// Transit routers: each transit AS has 3 routers.
+	transitRouters := make([][]string, spec.TransitASes)
+	for t := range transitRouters {
+		asn := uint32(transitASNBase + t)
+		for r := 0; r < 3; r++ {
+			ip := fmt.Sprintf("10.%d.%d.1", t, r)
+			transitRouters[t] = append(transitRouters[t], ip)
+			net.Annotations[ip] = HopInfo{ASN: asn, Geo: fmt.Sprintf("transit-%d", t)}
+		}
+	}
+
+	// ISP routers: cores and aggregations, plus alias interfaces for each.
+	ispCores := make([][]string, spec.ISPs)
+	ispAggs := make([][]string, spec.ISPs)
+	ispBlocksICMP := make([]bool, spec.ISPs)
+	aliasOf := make(map[string]string) // primary IP → alternate interface IP
+	for i := 0; i < spec.ISPs; i++ {
+		asn := uint32(ispASNBase + i)
+		net.ISPASNs = append(net.ISPASNs, asn)
+		ispBlocksICMP[i] = rng.Float64() < spec.PICMPBlockISP
+		for c := 0; c < spec.CoresPerISP; c++ {
+			ip := fmt.Sprintf("172.%d.0.%d", 16+i, c+1)
+			alias := fmt.Sprintf("172.%d.100.%d", 16+i, c+1)
+			ispCores[i] = append(ispCores[i], ip)
+			net.Annotations[ip] = HopInfo{ASN: asn, Geo: fmt.Sprintf("isp-%d-core", i)}
+			net.Annotations[alias] = HopInfo{ASN: asn, Geo: fmt.Sprintf("isp-%d-core", i)}
+			aliasOf[ip] = alias
+		}
+		for a := 0; a < spec.AggsPerISP; a++ {
+			ip := fmt.Sprintf("172.%d.1.%d", 16+i, a+1)
+			ispAggs[i] = append(ispAggs[i], ip)
+			net.Annotations[ip] = HopInfo{ASN: asn, Geo: fmt.Sprintf("isp-%d-agg", i)}
+		}
+	}
+
+	// Server sites, each homed behind one transit AS.
+	serverEdge := make([]string, spec.Servers)
+	serverTransit := make([]int, spec.Servers)
+	serverNames := make([]string, spec.Servers)
+	for s := 0; s < spec.Servers; s++ {
+		asn := uint32(serverASNBase + s)
+		ip := fmt.Sprintf("192.0.%d.1", s+1)
+		serverEdge[s] = fmt.Sprintf("192.0.%d.254", s+1)
+		serverTransit[s] = s % spec.TransitASes
+		serverNames[s] = fmt.Sprintf("mlab-%02d", s)
+		net.Annotations[ip] = HopInfo{ASN: asn, Geo: serverNames[s]}
+		net.Annotations[serverEdge[s]] = HopInfo{ASN: asn, Geo: serverNames[s]}
+	}
+
+	// Clients.
+	for i := 0; i < spec.ISPs; i++ {
+		asn := uint32(ispASNBase + i)
+		for c := 0; c < spec.ClientsPerISP; c++ {
+			// one /24 per client, as real clients scatter across prefixes
+			ip := fmt.Sprintf("100.%d.%d.10", 64+i, c)
+			agg := rng.Intn(spec.AggsPerISP)
+			net.Clients = append(net.Clients, Client{IP: ip, ISP: i, Agg: agg})
+			net.Annotations[ip] = HopInfo{ASN: asn, Geo: fmt.Sprintf("isp-%d-client", i)}
+		}
+	}
+
+	// Traceroutes: each client is measured from TracesPerClient distinct
+	// servers over the month.
+	for _, cl := range net.Clients {
+		perm := rng.Perm(spec.Servers)
+		for k := 0; k < spec.TracesPerClient && k < spec.Servers; k++ {
+			s := perm[k]
+			path := buildPath(rng, s, cl, serverEdge, serverTransit, transitRouters, ispCores, ispAggs)
+			raw := RawTraceroute{
+				Server:   serverNames[s],
+				ServerIP: fmt.Sprintf("192.0.%d.1", s+1),
+				DestIP:   cl.IP,
+				At:       spec.Start.Add(time.Duration(rng.Intn(30*24)) * time.Hour),
+			}
+			raw.Links = pathToLinks(path)
+			// Imperfection 1: the ISP filters ICMP toward its clients — the
+			// traceroute dies before crossing the ISP border, so its last
+			// hop sits in a transit AS and condition (a) rejects it.
+			if ispBlocksICMP[cl.ISP] {
+				cut := 1 + rng.Intn(2) // last answered hop is a transit router
+				if cut > len(raw.Links) {
+					cut = len(raw.Links)
+				}
+				raw.Links = raw.Links[:cut]
+			} else if rng.Float64() < spec.PTruncate {
+				// Imperfection 2: random tail truncation (rate limiting,
+				// transient loss of probe responses).
+				cut := 1 + rng.Intn(len(raw.Links)-1)
+				raw.Links = raw.Links[:cut]
+			}
+			// Imperfection 3: IP aliasing — a core router answers one probe
+			// with its other interface, breaking link continuity.
+			if rng.Float64() < spec.PAlias {
+				aliasLinks(raw.Links, aliasOf)
+			}
+			net.Raws = append(net.Raws, raw)
+		}
+	}
+	return net
+}
+
+// buildPath constructs the hop sequence from server s to client cl:
+// server edge → transit routers → ISP core (one or two) → aggregation →
+// client. Which core the path enters through depends on the transit AS, so
+// two servers behind different transit ASes converge at the aggregation
+// router (inside the ISP), while servers behind the same transit AS share
+// transit hops (outside the ISP — an unsuitable pair).
+func buildPath(rng *rand.Rand, s int, cl Client, serverEdge []string, serverTransit []int,
+	transitRouters [][]string, ispCores, ispAggs [][]string) []string {
+	t := serverTransit[s]
+	core := ispCores[cl.ISP][t%len(ispCores[cl.ISP])]
+	path := []string{serverEdge[s]}
+	path = append(path, transitRouters[t][0], transitRouters[t][1+rng.Intn(2)])
+	path = append(path, core)
+	// Occasionally the route crosses a second core before the aggregation.
+	if rng.Float64() < 0.3 {
+		other := ispCores[cl.ISP][(t+1)%len(ispCores[cl.ISP])]
+		path = append(path, other)
+	}
+	path = append(path, ispAggs[cl.ISP][cl.Agg], cl.IP)
+	return path
+}
+
+func pathToLinks(path []string) []Link {
+	links := make([]Link, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		links = append(links, Link{FromIP: path[i-1], ToIP: path[i]})
+	}
+	return links
+}
+
+// aliasLinks rewrites one router's "From" interface to its alias, breaking
+// continuity with the preceding link's "To".
+func aliasLinks(links []Link, aliasOf map[string]string) {
+	for i := 1; i < len(links); i++ {
+		if alias, ok := aliasOf[links[i].FromIP]; ok {
+			links[i].FromIP = alias
+			return
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package topology implements WeHeY's topology-construction (TC) module
+// (§3.3): it ingests traceroute records annotated with per-hop ASN and
+// geolocation data (the stand-in for M-Lab's scamper + annotation BigQuery
+// tables), filters out unusable traceroutes, and finds, for every client,
+// pairs of servers whose paths to the client converge exactly once —
+// inside the client's ISP. The resulting {destination, server pair} tuples
+// form the topology database that the client queries before a simultaneous
+// replay (§3.4).
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// HopInfo is the per-IP annotation merged from the second input table
+// (MaxMind / IPinfo.io / RouteViews in the real pipeline).
+type HopInfo struct {
+	ASN uint32 `json:"asn"`
+	Geo string `json:"geo,omitempty"`
+}
+
+// Annotations maps hop IPs to their annotations.
+type Annotations map[string]HopInfo
+
+// Link is one link reported by a scamper-style traceroute: a probe
+// response pair (from, to). Consecutive links of a clean traceroute chain:
+// link[i].To == link[i+1].From; IP aliasing breaks that equality because a
+// router may answer with different interface addresses.
+type Link struct {
+	FromIP string `json:"from"`
+	ToIP   string `json:"to"`
+}
+
+// RawTraceroute is one record of the first input table.
+type RawTraceroute struct {
+	Server   string    `json:"server"` // M-Lab server site name
+	ServerIP string    `json:"server_ip"`
+	DestIP   string    `json:"dest_ip"`
+	At       time.Time `json:"at"`
+	Links    []Link    `json:"links"`
+}
+
+// Traceroute is an annotated, validated traceroute: the merge of a raw
+// record with the annotation table, after passing the §3.3 filters.
+type Traceroute struct {
+	Server   string
+	ServerIP string
+	DestIP   string
+	DestASN  uint32
+	At       time.Time
+	HopIPs   []string // in path order, ending at (or inside) the dest ASN
+	HopASNs  []uint32 // aligned with HopIPs
+}
+
+// Annotate merges a raw traceroute with the annotation table and applies
+// the two validity conditions of §3.3:
+//
+//	(a) the last reported hop has the same ASN as the destination (an ISP
+//	    blocking ICMP near the client violates this);
+//	(b) two subsequent links always meet at the same IP address (IP
+//	    aliasing violates this).
+//
+// A nil error means the traceroute is usable.
+func Annotate(raw *RawTraceroute, ann Annotations) (*Traceroute, error) {
+	if len(raw.Links) == 0 {
+		return nil, fmt.Errorf("topology: traceroute %s→%s has no links", raw.Server, raw.DestIP)
+	}
+	destInfo, ok := ann[raw.DestIP]
+	if !ok {
+		return nil, fmt.Errorf("topology: destination %s not annotated", raw.DestIP)
+	}
+	// Condition (b): link continuity.
+	for i := 1; i < len(raw.Links); i++ {
+		if raw.Links[i].FromIP != raw.Links[i-1].ToIP {
+			return nil, fmt.Errorf("topology: link discontinuity at hop %d (%s != %s): IP aliasing",
+				i, raw.Links[i].FromIP, raw.Links[i-1].ToIP)
+		}
+	}
+	tr := &Traceroute{
+		Server:   raw.Server,
+		ServerIP: raw.ServerIP,
+		DestIP:   raw.DestIP,
+		DestASN:  destInfo.ASN,
+		At:       raw.At,
+	}
+	for i, l := range raw.Links {
+		ip := l.ToIP
+		info, ok := ann[ip]
+		if !ok {
+			return nil, fmt.Errorf("topology: hop %s not annotated", ip)
+		}
+		tr.HopIPs = append(tr.HopIPs, ip)
+		tr.HopASNs = append(tr.HopASNs, info.ASN)
+		_ = i
+	}
+	// Condition (a): the last reported hop must be in the destination ASN.
+	if tr.HopASNs[len(tr.HopASNs)-1] != destInfo.ASN {
+		return nil, fmt.Errorf("topology: last hop ASN %d != destination ASN %d (ICMP filtered?)",
+			tr.HopASNs[len(tr.HopASNs)-1], destInfo.ASN)
+	}
+	return tr, nil
+}
+
+// AnnotateAll merges and filters a batch, returning the usable traceroutes
+// and the number discarded.
+func AnnotateAll(raws []RawTraceroute, ann Annotations) (kept []*Traceroute, discarded int) {
+	for i := range raws {
+		tr, err := Annotate(&raws[i], ann)
+		if err != nil {
+			discarded++
+			continue
+		}
+		kept = append(kept, tr)
+	}
+	return kept, discarded
+}
+
+// CandidateIntermediates returns the hops of tr located in the destination
+// ASN — the nodes where two paths could suitably converge (§3.3 step 2).
+func (tr *Traceroute) CandidateIntermediates() []string {
+	var out []string
+	for i, asn := range tr.HopASNs {
+		if asn == tr.DestASN && tr.HopIPs[i] != tr.DestIP {
+			out = append(out, tr.HopIPs[i])
+		}
+	}
+	return out
+}
+
+// Prefix returns the destination's topology-database key: the /24 for IPv4
+// destinations and the /48 for IPv6 (§3.3).
+func Prefix(ip string) (string, error) {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil {
+		return "", fmt.Errorf("topology: %w", err)
+	}
+	bits := 24
+	if addr.Is6() && !addr.Is4In6() {
+		bits = 48
+	}
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		return "", fmt.Errorf("topology: %w", err)
+	}
+	return p.String(), nil
+}

@@ -1,0 +1,341 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// tiny hand-built network: two servers, one transit hop each, an ISP with
+// one shared aggregation router, one client.
+func tinyAnnotations() Annotations {
+	return Annotations{
+		"192.0.1.254": {ASN: 9000}, // server A edge
+		"192.0.2.254": {ASN: 9001}, // server B edge
+		"10.0.0.1":    {ASN: 1000}, // transit A
+		"10.1.0.1":    {ASN: 1001}, // transit B
+		"172.16.0.1":  {ASN: 6000}, // ISP core 1
+		"172.16.0.2":  {ASN: 6000}, // ISP core 2
+		"172.16.1.1":  {ASN: 6000}, // ISP agg (convergence)
+		"100.64.0.10": {ASN: 6000}, // client
+		"100.64.9.10": {ASN: 6000}, // second client, same ISP
+	}
+}
+
+func rawTrace(server, serverIP string, hops ...string) RawTraceroute {
+	raw := RawTraceroute{Server: server, ServerIP: serverIP, DestIP: hops[len(hops)-1], At: time.Now()}
+	prev := serverIP
+	for _, h := range hops {
+		raw.Links = append(raw.Links, Link{FromIP: prev, ToIP: h})
+		prev = h
+	}
+	return raw
+}
+
+func TestAnnotateAcceptsCleanTraceroute(t *testing.T) {
+	ann := tinyAnnotations()
+	raw := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10")
+	tr, err := Annotate(&raw, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DestASN != 6000 {
+		t.Errorf("DestASN = %d", tr.DestASN)
+	}
+	if len(tr.HopIPs) != 4 {
+		t.Errorf("hops = %v", tr.HopIPs)
+	}
+	cands := tr.CandidateIntermediates()
+	if len(cands) != 2 || cands[0] != "172.16.0.1" || cands[1] != "172.16.1.1" {
+		t.Errorf("candidates = %v", cands)
+	}
+}
+
+func TestAnnotateRejectsICMPFiltered(t *testing.T) {
+	ann := tinyAnnotations()
+	// Traceroute dies at the transit hop: last hop ASN ≠ dest ASN.
+	raw := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1")
+	raw.DestIP = "100.64.0.10"
+	if _, err := Annotate(&raw, ann); err == nil {
+		t.Error("ICMP-filtered traceroute accepted")
+	}
+}
+
+func TestAnnotateRejectsAliasing(t *testing.T) {
+	ann := tinyAnnotations()
+	raw := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10")
+	// Break continuity: hop 2 answers from another interface.
+	raw.Links[2].FromIP = "172.16.0.99"
+	if _, err := Annotate(&raw, ann); err == nil {
+		t.Error("aliased traceroute accepted")
+	}
+}
+
+func TestAnnotateRejectsUnannotatedAndEmpty(t *testing.T) {
+	ann := tinyAnnotations()
+	raw := rawTrace("mlab-a", "192.0.1.254", "10.9.9.9", "100.64.0.10")
+	if _, err := Annotate(&raw, ann); err == nil {
+		t.Error("unannotated hop accepted")
+	}
+	empty := RawTraceroute{DestIP: "100.64.0.10"}
+	if _, err := Annotate(&empty, ann); err == nil {
+		t.Error("empty traceroute accepted")
+	}
+	noDest := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "203.0.113.7")
+	if _, err := Annotate(&noDest, ann); err == nil {
+		t.Error("unannotated destination accepted")
+	}
+}
+
+func TestSuitablePairConvergesInsideISP(t *testing.T) {
+	ann := tinyAnnotations()
+	rawA := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10")
+	rawB := rawTrace("mlab-b", "192.0.2.254", "10.1.0.1", "172.16.0.2", "172.16.1.1", "100.64.0.10")
+	a, err := Annotate(&rawA, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Annotate(&rawB, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, ok := SuitablePair(a, b, 6000)
+	if !ok {
+		t.Fatal("suitable pair rejected")
+	}
+	if conv != "172.16.1.1" {
+		t.Errorf("convergence at %s, want the shared aggregation router", conv)
+	}
+}
+
+func TestSuitablePairRejectsSharedTransit(t *testing.T) {
+	ann := tinyAnnotations()
+	// Both paths cross the same transit router (outside the ISP).
+	rawA := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10")
+	rawB := rawTrace("mlab-b", "192.0.2.254", "10.0.0.1", "172.16.0.2", "172.16.1.1", "100.64.0.10")
+	a, _ := Annotate(&rawA, ann)
+	b, _ := Annotate(&rawB, ann)
+	if _, ok := SuitablePair(a, b, 6000); ok {
+		t.Error("pair sharing a transit hop accepted")
+	}
+}
+
+func TestSuitablePairRejectsNoConvergence(t *testing.T) {
+	ann := tinyAnnotations()
+	// Paths to two different clients sharing no ISP hop.
+	rawA := rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10")
+	rawB := rawTrace("mlab-b", "192.0.2.254", "10.1.0.1", "172.16.0.2", "100.64.9.10")
+	a, _ := Annotate(&rawA, ann)
+	b, _ := Annotate(&rawB, ann)
+	if _, ok := SuitablePair(a, b, 6000); ok {
+		t.Error("non-converging pair accepted")
+	}
+}
+
+func TestConstructBuildsLookupableDB(t *testing.T) {
+	ann := tinyAnnotations()
+	raws := []RawTraceroute{
+		rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10"),
+		rawTrace("mlab-b", "192.0.2.254", "10.1.0.1", "172.16.0.2", "172.16.1.1", "100.64.0.10"),
+	}
+	kept, discarded := AnnotateAll(raws, ann)
+	if discarded != 0 || len(kept) != 2 {
+		t.Fatalf("kept %d, discarded %d", len(kept), discarded)
+	}
+	db := Construct(kept)
+	if db.Len() != 1 {
+		t.Fatalf("DB has %d prefixes", db.Len())
+	}
+	entry, ok := db.Lookup("100.64.0.10")
+	if !ok {
+		t.Fatal("client prefix not found")
+	}
+	// Any client in the same /24 hits the same entry.
+	if e2, ok := db.Lookup("100.64.0.200"); !ok || e2 != entry {
+		t.Error("same-/24 lookup mismatch")
+	}
+	if len(entry.Pairs) != 1 {
+		t.Fatalf("pairs = %+v", entry.Pairs)
+	}
+	p := entry.Pairs[0]
+	if p.Server1 != "mlab-a" || p.Server2 != "mlab-b" || p.ConvergeIP != "172.16.1.1" {
+		t.Errorf("pair = %+v", p)
+	}
+	if entry.ASN != 6000 {
+		t.Errorf("ASN = %d", entry.ASN)
+	}
+	if _, ok := db.Lookup("not-an-ip"); ok {
+		t.Error("garbage IP resolved")
+	}
+	if _, ok := db.Lookup("203.0.113.1"); ok {
+		t.Error("unknown prefix resolved")
+	}
+}
+
+func TestDBJSONRoundTrip(t *testing.T) {
+	ann := tinyAnnotations()
+	raws := []RawTraceroute{
+		rawTrace("mlab-a", "192.0.1.254", "10.0.0.1", "172.16.0.1", "172.16.1.1", "100.64.0.10"),
+		rawTrace("mlab-b", "192.0.2.254", "10.1.0.1", "172.16.0.2", "172.16.1.1", "100.64.0.10"),
+	}
+	kept, _ := AnnotateAll(raws, ann)
+	db := Construct(kept)
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ReadDBJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Errorf("round trip: %d vs %d", db2.Len(), db.Len())
+	}
+	if _, err := ReadDBJSON(bytes.NewReader([]byte("["))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	cases := []struct{ ip, want string }{
+		{"100.64.3.7", "100.64.3.0/24"},
+		{"2001:db8:1:2:3::4", "2001:db8:1::/48"},
+	}
+	for _, c := range cases {
+		got, err := Prefix(c.ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Prefix(%s) = %s, want %s", c.ip, got, c.want)
+		}
+	}
+	if _, err := Prefix("nonsense"); err == nil {
+		t.Error("garbage IP accepted")
+	}
+}
+
+func TestSynthesizeAndYield(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := Synthesize(rng, SynthSpec{})
+	if len(net.Clients) != 12*25 {
+		t.Fatalf("clients = %d", len(net.Clients))
+	}
+	if len(net.Raws) != len(net.Clients)*3 {
+		t.Fatalf("raws = %d", len(net.Raws))
+	}
+	clientIPs := make([]string, len(net.Clients))
+	for i, c := range net.Clients {
+		clientIPs[i] = c.IP
+	}
+	stats, db := Yield(net.Raws, net.Annotations, clientIPs)
+	if stats.Clients != len(net.Clients) {
+		t.Fatalf("stats.Clients = %d", stats.Clients)
+	}
+	if stats.Discarded == 0 {
+		t.Error("imperfections generated no discards")
+	}
+	// Shape check against §3.3: roughly half the clients have a complete
+	// traceroute; a majority of those have a suitable topology.
+	cf, sf := stats.CompleteFraction(), stats.SuitableFraction()
+	if cf < 0.3 || cf > 0.95 {
+		t.Errorf("complete fraction = %v, expected a middling share", cf)
+	}
+	if sf < 0.4 || sf > 1 {
+		t.Errorf("suitable fraction = %v, expected a majority", sf)
+	}
+	if db.Len() == 0 {
+		t.Error("empty DB")
+	}
+	// Every admitted pair must be genuinely suitable: convergence inside
+	// the client ISP's ASN range.
+	for _, e := range db.Entries() {
+		for _, p := range e.Pairs {
+			if info, ok := net.Annotations[p.ConvergeIP]; !ok || info.ASN != e.ASN {
+				t.Fatalf("pair %+v converges outside ISP (ASN %d)", p, e.ASN)
+			}
+		}
+	}
+}
+
+func TestRawsJSONLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := Synthesize(rng, SynthSpec{ISPs: 2, ClientsPerISP: 3})
+	var buf bytes.Buffer
+	if err := WriteRawsJSONL(&buf, net.Raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(net.Raws) {
+		t.Fatalf("round trip: %d vs %d", len(got), len(net.Raws))
+	}
+	if got[0].DestIP != net.Raws[0].DestIP || len(got[0].Links) != len(net.Raws[0].Links) {
+		t.Error("record mismatch")
+	}
+
+	var abuf bytes.Buffer
+	if err := WriteAnnotationsJSON(&abuf, net.Annotations); err != nil {
+		t.Fatal(err)
+	}
+	ann, err := ReadAnnotationsJSON(&abuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ann) != len(net.Annotations) {
+		t.Error("annotation round trip size mismatch")
+	}
+	if _, err := ReadRawsJSONL(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("garbage JSONL accepted")
+	}
+	if _, err := ReadAnnotationsJSON(bytes.NewReader([]byte("["))); err == nil {
+		t.Error("garbage annotations accepted")
+	}
+}
+
+func TestDBMergeAndInvalidate(t *testing.T) {
+	mk := func(server1 string) *DB {
+		db := NewDB()
+		db.byPrefix["100.64.0.0/24"] = &Entry{
+			Prefix: "100.64.0.0/24", ASN: 6000,
+			Pairs: []ServerPair{{Server1: server1, Server2: "mlab-z", ConvergeIP: "172.16.1.1"}},
+		}
+		return db
+	}
+	a := mk("mlab-a")
+	b := mk("mlab-b")
+	b.byPrefix["100.99.0.0/24"] = &Entry{Prefix: "100.99.0.0/24", ASN: 6001,
+		Pairs: []ServerPair{{Server1: "mlab-c", Server2: "mlab-d"}}}
+
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	e, _ := a.Lookup("100.64.0.7")
+	if len(e.Pairs) != 2 {
+		t.Fatalf("merged pairs = %+v", e.Pairs)
+	}
+	// Merging the same DB again must not duplicate.
+	a.Merge(b)
+	e, _ = a.Lookup("100.64.0.7")
+	if len(e.Pairs) != 2 {
+		t.Fatalf("idempotent merge violated: %+v", e.Pairs)
+	}
+
+	// Invalidation removes one pair, then the whole entry.
+	a.Invalidate("100.64.0.7", ServerPair{Server1: "mlab-a", Server2: "mlab-z"})
+	e, _ = a.Lookup("100.64.0.7")
+	if len(e.Pairs) != 1 || e.Pairs[0].Server1 != "mlab-b" {
+		t.Fatalf("after invalidate: %+v", e.Pairs)
+	}
+	a.Invalidate("100.64.0.7", ServerPair{Server1: "mlab-b", Server2: "mlab-z"})
+	if _, ok := a.Lookup("100.64.0.7"); ok {
+		t.Error("empty entry not removed")
+	}
+	// No-ops must not panic.
+	a.Invalidate("not-an-ip", ServerPair{})
+	a.Invalidate("203.0.113.1", ServerPair{})
+}

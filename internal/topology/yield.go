@@ -1,0 +1,53 @@
+package topology
+
+// YieldStats reports how many clients the TC module can serve — the §3.3
+// statistics ("on average, there was at least one complete traceroute for
+// 52% of WeHe clients, and at least one suitable topology for 74% of these
+// clients").
+type YieldStats struct {
+	Clients                int // clients observed in the dataset
+	WithCompleteTraceroute int // clients with ≥1 usable traceroute
+	WithSuitableTopology   int // of those, clients with ≥1 suitable pair
+	Discarded              int // traceroutes dropped by the §3.3 filters
+}
+
+// CompleteFraction returns WithCompleteTraceroute / Clients.
+func (y YieldStats) CompleteFraction() float64 {
+	if y.Clients == 0 {
+		return 0
+	}
+	return float64(y.WithCompleteTraceroute) / float64(y.Clients)
+}
+
+// SuitableFraction returns WithSuitableTopology / WithCompleteTraceroute.
+func (y YieldStats) SuitableFraction() float64 {
+	if y.WithCompleteTraceroute == 0 {
+		return 0
+	}
+	return float64(y.WithSuitableTopology) / float64(y.WithCompleteTraceroute)
+}
+
+// Yield runs the full TC pipeline over a dataset (annotate+filter, then
+// construct) and computes the per-client statistics. The clients slice
+// enumerates the population (clients with zero usable traceroutes still
+// count in the denominator).
+func Yield(raws []RawTraceroute, ann Annotations, clients []string) (YieldStats, *DB) {
+	kept, discarded := AnnotateAll(raws, ann)
+	db := Construct(kept)
+
+	haveComplete := make(map[string]bool, len(kept))
+	for _, tr := range kept {
+		haveComplete[tr.DestIP] = true
+	}
+	stats := YieldStats{Clients: len(clients), Discarded: discarded}
+	for _, c := range clients {
+		if !haveComplete[c] {
+			continue
+		}
+		stats.WithCompleteTraceroute++
+		if e, ok := db.Lookup(c); ok && len(e.Pairs) > 0 {
+			stats.WithSuitableTopology++
+		}
+	}
+	return stats, db
+}

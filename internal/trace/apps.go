@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MTUPayload is the transport payload carried by a full-size packet
+// (1500-byte MTU minus IP/transport headers, rounded to the 1400 bytes WeHe
+// traces use).
+const MTUPayload = 1400
+
+// AppProfile describes the traffic shape of one application class. WeHe
+// ships lab recordings of each app; we generate statistically equivalent
+// synthetic traces from these profiles instead (see the package comment).
+type AppProfile struct {
+	Name      string
+	Transport Transport
+	SNI       string
+
+	// Video (TCP) parameters: adaptive-bitrate segment downloads.
+	SegmentInterval time.Duration // time between segment fetches
+	Bitrate         float64       // average downstream rate, bits/s
+
+	// Real-time (UDP) parameters: periodic media frames.
+	FrameInterval  time.Duration // inter-frame spacing
+	MeanFrameSize  int           // mean downstream frame payload, bytes
+	FrameJitter    int           // ± uniform jitter on frame size, bytes
+	UplinkFraction float64       // uplink rate as a fraction of downlink
+}
+
+// profiles lists the ten applications the paper evaluates with: five TCP
+// video services (Table 1, §5) and the five UDP applications WeHe replays
+// (§6.1): Skype, WhatsApp, MS Teams, Zoom, and Webex.
+var profiles = []AppProfile{
+	{Name: "netflix", Transport: TCP, SNI: "nflxvideo.net", SegmentInterval: 4 * time.Second, Bitrate: 5e6},
+	{Name: "youtube", Transport: TCP, SNI: "googlevideo.com", SegmentInterval: 2500 * time.Millisecond, Bitrate: 6e6},
+	{Name: "disneyplus", Transport: TCP, SNI: "disneyplus.com", SegmentInterval: 4 * time.Second, Bitrate: 4.5e6},
+	{Name: "amazonprime", Transport: TCP, SNI: "aiv-cdn.net", SegmentInterval: 3 * time.Second, Bitrate: 5.5e6},
+	{Name: "twitch", Transport: TCP, SNI: "ttvnw.net", SegmentInterval: 2 * time.Second, Bitrate: 4e6},
+
+	// Frame sizes/intervals reproduce the video-call rates of the WeHe
+	// traces (1–2.5 Mbit/s, 100–260 packets/s after MTU fragmentation).
+	{Name: "skype", Transport: UDP, SNI: "skype.com", FrameInterval: 16667 * time.Microsecond, MeanFrameSize: 2500, FrameJitter: 700, UplinkFraction: 0.5},
+	{Name: "whatsapp", Transport: UDP, SNI: "whatsapp.net", FrameInterval: 20 * time.Millisecond, MeanFrameSize: 2100, FrameJitter: 600, UplinkFraction: 0.6},
+	{Name: "msteams", Transport: UDP, SNI: "teams.microsoft.com", FrameInterval: 16667 * time.Microsecond, MeanFrameSize: 3750, FrameJitter: 900, UplinkFraction: 0.4},
+	{Name: "zoom", Transport: UDP, SNI: "zoom.us", FrameInterval: 16667 * time.Microsecond, MeanFrameSize: 4600, FrameJitter: 1000, UplinkFraction: 0.4},
+	{Name: "webex", Transport: UDP, SNI: "webex.com", FrameInterval: 20 * time.Millisecond, MeanFrameSize: 5000, FrameJitter: 1100, UplinkFraction: 0.35},
+}
+
+// Profiles returns all known application profiles.
+func Profiles() []AppProfile { return append([]AppProfile(nil), profiles...) }
+
+// VideoApps returns the names of the TCP video applications.
+func VideoApps() []string { return appsByTransport(TCP) }
+
+// RTCApps returns the names of the UDP real-time applications.
+func RTCApps() []string { return appsByTransport(UDP) }
+
+func appsByTransport(tp Transport) []string {
+	var out []string
+	for _, p := range profiles {
+		if p.Transport == tp {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileByName returns the profile of a named application.
+func ProfileByName(name string) (AppProfile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return AppProfile{}, fmt.Errorf("trace: unknown application %q", name)
+}
+
+// Generate synthesizes a trace of the named application lasting
+// approximately dur, using rng for all stochastic choices. The same
+// (name, seed, dur) always yields the same trace.
+func Generate(name string, rng *rand.Rand, dur time.Duration) (*Trace, error) {
+	p, err := ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.Transport == TCP {
+		return generateVideo(p, rng, dur), nil
+	}
+	return generateRTC(p, rng, dur), nil
+}
+
+// handshake emits the connection-opening packets: a client hello carrying
+// the SNI (the plaintext token DPI-based differentiation matches on, §2.1)
+// and the server's response.
+func handshake(tr *Trace, sni string) time.Duration {
+	hello := clientHello(sni)
+	tr.Packets = append(tr.Packets,
+		Packet{Offset: 0, Size: len(hello), Dir: ClientToServer, Payload: hello},
+		// The server's certificate flight fragments across the MTU.
+		Packet{Offset: 15 * time.Millisecond, Size: MTUPayload, Dir: ServerToClient},
+		Packet{Offset: 15*time.Millisecond + 200*time.Microsecond, Size: MTUPayload, Dir: ServerToClient},
+		Packet{Offset: 30 * time.Millisecond, Size: 80, Dir: ClientToServer},
+	)
+	return 35 * time.Millisecond
+}
+
+// HandshakePayload builds the SNI-bearing client-hello payload used by
+// the generated traces; exposed for tools that craft custom flows a DPI
+// classifier should match (e.g. testbed background traffic).
+func HandshakePayload(sni string) []byte { return clientHello(sni) }
+
+// clientHello builds a minimal TLS-ClientHello-shaped payload whose
+// server_name extension carries sni. Only the SNI bytes matter to
+// consumers (DPI classifiers scan for them); the framing is cosmetic.
+func clientHello(sni string) []byte {
+	b := make([]byte, 0, 128+len(sni))
+	b = append(b, 0x16, 0x03, 0x01) // TLS handshake, version 3.1
+	body := append([]byte{0x01, 0x00}, []byte(sni)...)
+	b = append(b, byte(len(body)>>8), byte(len(body)))
+	b = append(b, body...)
+	// Pad to a typical ClientHello size.
+	for len(b) < 280 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// SNIFromPayload extracts the server name from a payload built by
+// clientHello, or "" when the payload does not parse (e.g. after bit
+// inversion). This is the classifier's view of the packet.
+func SNIFromPayload(p []byte) string {
+	if len(p) < 7 || p[0] != 0x16 || p[1] != 0x03 {
+		return ""
+	}
+	n := int(p[3])<<8 | int(p[4])
+	if n < 2 || 5+n > len(p) {
+		return ""
+	}
+	if p[5] != 0x01 || p[6] != 0x00 {
+		return ""
+	}
+	return string(p[7 : 5+n])
+}
+
+func generateVideo(p AppProfile, rng *rand.Rand, dur time.Duration) *Trace {
+	tr := &Trace{App: p.Name, Transport: TCP, SNI: p.SNI}
+	t := handshake(tr, p.SNI)
+
+	segBytes := p.Bitrate * p.SegmentInterval.Seconds() / 8
+	for t < dur {
+		// Client requests the next segment.
+		tr.Packets = append(tr.Packets, Packet{Offset: t, Size: 400, Dir: ClientToServer})
+		t += 10 * time.Millisecond
+
+		// Segment size varies ±25% (ABR ladder steps and scene complexity).
+		bytesLeft := int(segBytes * (0.75 + 0.5*rng.Float64()))
+		// The server ships the segment as a burst of MTU packets spaced at
+		// a jittered sub-millisecond serialization time (the recorded shape;
+		// replayed TCP ignores these offsets and lets CC pace instead).
+		for bytesLeft > 0 && t < dur {
+			size := MTUPayload
+			if bytesLeft < size {
+				size = bytesLeft
+			}
+			tr.Packets = append(tr.Packets, Packet{Offset: t, Size: size, Dir: ServerToClient})
+			bytesLeft -= size
+			t += time.Duration(300+rng.Intn(400)) * time.Microsecond
+		}
+		// Idle until the next segment boundary (client buffers ahead).
+		idle := p.SegmentInterval - time.Duration(float64(p.SegmentInterval)*0.15*rng.Float64())
+		next := t + idle
+		// Sparse keep-alive/ACK chatter during the idle period.
+		for ka := t + 500*time.Millisecond; ka < next && ka < dur; ka += 500 * time.Millisecond {
+			tr.Packets = append(tr.Packets, Packet{Offset: ka, Size: 60, Dir: ClientToServer})
+		}
+		t = next
+	}
+	sortPacketsByOffset(tr.Packets)
+	return tr
+}
+
+func generateRTC(p AppProfile, rng *rand.Rand, dur time.Duration) *Trace {
+	tr := &Trace{App: p.Name, Transport: UDP, SNI: p.SNI}
+	t := handshake(tr, p.SNI)
+
+	upEvery := 1
+	if p.UplinkFraction > 0 {
+		upEvery = int(1/p.UplinkFraction + 0.5)
+		if upEvery < 1 {
+			upEvery = 1
+		}
+	}
+	frame := 0
+	for ; t < dur; frame++ {
+		size := p.MeanFrameSize + rng.Intn(2*p.FrameJitter+1) - p.FrameJitter
+		if size < 40 {
+			size = 40
+		}
+		// Large frames fragment across MTU-size packets back-to-back.
+		off := t
+		for size > 0 {
+			s := size
+			if s > MTUPayload {
+				s = MTUPayload
+			}
+			tr.Packets = append(tr.Packets, Packet{Offset: off, Size: s, Dir: ServerToClient})
+			size -= s
+			off += 200 * time.Microsecond
+		}
+		if p.UplinkFraction > 0 && frame%upEvery == 0 {
+			upSize := int(float64(p.MeanFrameSize)*p.UplinkFraction) + rng.Intn(100)
+			tr.Packets = append(tr.Packets, Packet{Offset: t + time.Millisecond, Size: upSize, Dir: ClientToServer})
+		}
+		// Frame interval with ±10% pacing jitter.
+		jitter := time.Duration((rng.Float64() - 0.5) * 0.2 * float64(p.FrameInterval))
+		t += p.FrameInterval + jitter
+	}
+	sortPacketsByOffset(tr.Packets)
+	return tr
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary trace format ("WHTR"): a compact, streamable encoding used by the
+// replay tools to ship traces between client and servers.
+//
+//	magic "WHTR" | version u8 | app str | sni str | transport u8 |
+//	count uvarint | packets...
+//
+// Each packet: offset delta ns (uvarint) | size (uvarint) | dir u8 |
+// payload len (uvarint) | payload bytes. Strings are uvarint-length-prefixed.
+const (
+	magic         = "WHTR"
+	formatVersion = 1
+)
+
+// ErrBadFormat reports a malformed or truncated binary trace.
+var ErrBadFormat = errors.New("trace: bad binary format")
+
+// Encode writes tr to w in the binary trace format.
+func Encode(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return err
+	}
+	writeString(bw, tr.App)
+	writeString(bw, tr.SNI)
+	bw.WriteByte(byte(tr.Transport))
+	writeUvarint(bw, uint64(len(tr.Packets)))
+	var prev time.Duration
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Offset < prev {
+			return fmt.Errorf("trace: packet %d offsets not sorted", i)
+		}
+		writeUvarint(bw, uint64(p.Offset-prev))
+		prev = p.Offset
+		writeUvarint(bw, uint64(p.Size))
+		bw.WriteByte(byte(p.Dir))
+		writeUvarint(bw, uint64(len(p.Payload)))
+		bw.Write(p.Payload)
+	}
+	return bw.Flush()
+}
+
+// Decode reads one trace in the binary trace format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if head[len(magic)] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, head[len(magic)])
+	}
+	tr := &Trace{}
+	var err error
+	if tr.App, err = readString(br); err != nil {
+		return nil, err
+	}
+	if tr.SNI, err = readString(br); err != nil {
+		return nil, err
+	}
+	tb, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	tr.Transport = Transport(tb)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxPackets = 50 << 20 // sanity bound against corrupt headers
+	if count > maxPackets {
+		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadFormat, count)
+	}
+	// Never trust the header for the allocation size: a short corrupt
+	// stream with a huge count would otherwise allocate gigabytes before
+	// the first read error surfaces.
+	prealloc := count
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	tr.Packets = make([]Packet, 0, prealloc)
+	var offset time.Duration
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d offset: %v", ErrBadFormat, i, err)
+		}
+		offset += time.Duration(delta)
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d size: %v", ErrBadFormat, i, err)
+		}
+		db, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d dir: %v", ErrBadFormat, i, err)
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d payload len: %v", ErrBadFormat, i, err)
+		}
+		if plen > size {
+			return nil, fmt.Errorf("%w: packet %d payload %d > size %d", ErrBadFormat, i, plen, size)
+		}
+		var payload []byte
+		if plen > 0 {
+			payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return nil, fmt.Errorf("%w: packet %d payload: %v", ErrBadFormat, i, err)
+			}
+		}
+		tr.Packets = append(tr.Packets, Packet{
+			Offset:  offset,
+			Size:    int(size),
+			Dir:     Direction(db),
+			Payload: payload,
+		})
+	}
+	return tr, nil
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxStr = 1 << 16
+	if n > maxStr {
+		return "", fmt.Errorf("%w: implausible string length %d", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return string(buf), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, app := range []string{"netflix", "zoom"} {
+		orig, err := Generate(app, rng, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.App != orig.App || got.SNI != orig.SNI || got.Transport != orig.Transport {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if len(got.Packets) != len(orig.Packets) {
+			t.Fatalf("packet count %d, want %d", len(got.Packets), len(orig.Packets))
+		}
+		for i := range orig.Packets {
+			a, b := orig.Packets[i], got.Packets[i]
+			if a.Offset != b.Offset || a.Size != b.Size || a.Dir != b.Dir {
+				t.Fatalf("packet %d mismatch: %+v vs %+v", i, a, b)
+			}
+			if !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("packet %d payload mismatch", i)
+			}
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Trace{App: "empty", SNI: ""}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "empty" || len(got.Packets) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("NOPE\x01\x00\x00\x00"),
+		[]byte("WHTR\x63"), // wrong version
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	orig, err := Generate("skype", rand.New(rand.NewSource(3)), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestEncodeRejectsUnsortedTrace(t *testing.T) {
+	bad := &Trace{Packets: []Packet{
+		{Offset: time.Second, Size: 1},
+		{Offset: 0, Size: 1},
+	}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, bad); err == nil {
+		t.Error("unsorted trace encoded without error")
+	}
+}

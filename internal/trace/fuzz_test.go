@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzDecode checks that the binary trace decoder never panics and that
+// anything it accepts re-encodes and re-decodes identically.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid encodings plus mutations.
+	for _, app := range []string{"netflix", "zoom"} {
+		tr, err := Generate(app, rand.New(rand.NewSource(1)), time.Second)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("WHTR\x01"))
+	f.Add([]byte("XXXX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(tr2.Packets) != len(tr.Packets) || tr2.App != tr.App {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON trace decoder never panics.
+func FuzzReadJSON(f *testing.F) {
+	tr, err := Generate("skype", rand.New(rand.NewSource(2)), time.Second)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"app":"x","transport":"udp","packets":[]}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+	})
+}

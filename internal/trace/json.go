@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonTrace is the JSON wire form of a Trace: human-inspectable, used by
+// tooling; the binary codec (Encode/Decode) is what replays ship.
+type jsonTrace struct {
+	App       string       `json:"app"`
+	Transport string       `json:"transport"`
+	SNI       string       `json:"sni,omitempty"`
+	Packets   []jsonPacket `json:"packets"`
+}
+
+type jsonPacket struct {
+	OffsetUS int64  `json:"offset_us"`
+	Size     int    `json:"size"`
+	Dir      string `json:"dir"`
+	Payload  []byte `json:"payload,omitempty"` // base64 via encoding/json
+}
+
+// WriteJSON encodes the trace as JSON.
+func WriteJSON(w io.Writer, tr *Trace) error {
+	jt := jsonTrace{App: tr.App, Transport: tr.Transport.String(), SNI: tr.SNI}
+	jt.Packets = make([]jsonPacket, len(tr.Packets))
+	for i, p := range tr.Packets {
+		jt.Packets[i] = jsonPacket{
+			OffsetUS: p.Offset.Microseconds(),
+			Size:     p.Size,
+			Dir:      p.Dir.String(),
+			Payload:  p.Payload,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jt)
+}
+
+// ReadJSON decodes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: json: %w", err)
+	}
+	tr := &Trace{App: jt.App, SNI: jt.SNI}
+	switch jt.Transport {
+	case "tcp":
+		tr.Transport = TCP
+	case "udp":
+		tr.Transport = UDP
+	default:
+		return nil, fmt.Errorf("trace: json: unknown transport %q", jt.Transport)
+	}
+	tr.Packets = make([]Packet, len(jt.Packets))
+	for i, p := range jt.Packets {
+		var dir Direction
+		switch p.Dir {
+		case "s2c":
+			dir = ServerToClient
+		case "c2s":
+			dir = ClientToServer
+		default:
+			return nil, fmt.Errorf("trace: json: packet %d: unknown direction %q", i, p.Dir)
+		}
+		tr.Packets[i] = Packet{
+			Offset:  time.Duration(p.OffsetUS) * time.Microsecond,
+			Size:    p.Size,
+			Dir:     dir,
+			Payload: p.Payload,
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

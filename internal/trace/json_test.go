@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := Generate("netflix", rand.New(rand.NewSource(1)), 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != orig.App || got.SNI != orig.SNI || got.Transport != orig.Transport {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Packets) != len(orig.Packets) {
+		t.Fatalf("count %d vs %d", len(got.Packets), len(orig.Packets))
+	}
+	for i := range orig.Packets {
+		a, b := orig.Packets[i], got.Packets[i]
+		// JSON offsets carry microsecond resolution.
+		if a.Offset.Truncate(time.Microsecond) != b.Offset {
+			t.Fatalf("packet %d offset %v vs %v", i, a.Offset, b.Offset)
+		}
+		if a.Size != b.Size || a.Dir != b.Dir || !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"app":"x","transport":"carrier-pigeon"}`))); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"app":"x","transport":"udp","packets":[{"offset_us":1,"size":5,"dir":"sideways"}]}`))); err == nil {
+		t.Error("unknown direction accepted")
+	}
+	// Unsorted offsets fail Validate.
+	bad := `{"app":"x","transport":"udp","packets":[{"offset_us":10,"size":5,"dir":"s2c"},{"offset_us":1,"size":5,"dir":"s2c"}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomTrace builds a structurally valid random trace.
+func randomTrace(rng *rand.Rand) *Trace {
+	apps := append(VideoApps(), RTCApps()...)
+	app := apps[rng.Intn(len(apps))]
+	dur := time.Duration(1+rng.Intn(5)) * time.Second
+	tr, err := Generate(app, rng, dur)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Property: bit inversion is an involution (applying it twice restores the
+// original payloads) and never changes shape.
+func TestBitInvertInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomTrace(rng)
+		twice := BitInvert(BitInvert(orig))
+		if len(twice.Packets) != len(orig.Packets) {
+			return false
+		}
+		for i := range orig.Packets {
+			a, b := orig.Packets[i], twice.Packets[i]
+			if a.Offset != b.Offset || a.Size != b.Size || a.Dir != b.Dir {
+				return false
+			}
+			if !bytes.Equal(a.Payload, b.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Poisson retiming preserves packet population (counts, sizes,
+// total bytes) and validity.
+func TestPoissonRetimePopulationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomTrace(rng)
+		ret := PoissonRetime(rand.New(rand.NewSource(seed+1)), orig)
+		if ret.Validate() != nil {
+			return false
+		}
+		return ret.Count(ServerToClient) == orig.Count(ServerToClient) &&
+			ret.TotalBytes(ServerToClient) == orig.TotalBytes(ServerToClient) &&
+			ret.Count(ClientToServer) == orig.Count(ClientToServer)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExtendTo always reaches the target duration, preserves
+// validity, and multiplies the byte volume consistently.
+func TestExtendToProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomTrace(rng)
+		target := orig.Duration()*2 + time.Second
+		ext := ExtendTo(orig, target)
+		if ext.Validate() != nil || ext.Duration() < target {
+			return false
+		}
+		// Byte volume is an integer multiple of the original's.
+		ob, eb := orig.TotalBytes(ServerToClient), ext.TotalBytes(ServerToClient)
+		return ob == 0 || eb%ob == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the binary codec round-trips any generated trace exactly.
+func TestBinaryCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomTrace(rng)
+		var buf bytes.Buffer
+		if Encode(&buf, orig) != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got.Packets) != len(orig.Packets) {
+			return false
+		}
+		for i := range orig.Packets {
+			a, b := orig.Packets[i], got.Packets[i]
+			if a.Offset != b.Offset || a.Size != b.Size || a.Dir != b.Dir || !bytes.Equal(a.Payload, b.Payload) {
+				return false
+			}
+		}
+		return got.App == orig.App && got.SNI == orig.SNI && got.Transport == orig.Transport
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package trace models the pre-recorded application traces that WeHe and
+// WeHeY replay, together with the two trace transforms the system depends
+// on: bit inversion (WeHe's control measurement, which destroys the payload
+// patterns DPI-based differentiators match on) and Poisson retiming (WeHeY's
+// PASTA-friendly modification of UDP replays, §3.4).
+//
+// Real WeHe ships traces recorded in the lab from popular services. This
+// module generates statistically equivalent synthetic traces per application
+// class instead (see apps.go); what every consumer downstream needs from a
+// trace is packet sizes, timings, total rate, and a DPI-matchable service
+// token in the handshake payload, all of which the generators reproduce.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Transport identifies the transport protocol a trace was recorded over.
+type Transport uint8
+
+const (
+	// TCP traces are replayed under congestion control with pacing.
+	TCP Transport = iota
+	// UDP traces are replayed with trace-driven (or Poisson) timing.
+	UDP
+)
+
+// String returns "tcp" or "udp".
+func (t Transport) String() string {
+	switch t {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	}
+	return fmt.Sprintf("transport(%d)", uint8(t))
+}
+
+// Direction identifies which endpoint transmitted a packet.
+type Direction uint8
+
+const (
+	// ServerToClient packets carry the service's content downstream.
+	ServerToClient Direction = iota
+	// ClientToServer packets carry requests, ACK-like feedback, or uplink
+	// media.
+	ClientToServer
+)
+
+// String returns "s2c" or "c2s".
+func (d Direction) String() string {
+	switch d {
+	case ServerToClient:
+		return "s2c"
+	case ClientToServer:
+		return "c2s"
+	}
+	return fmt.Sprintf("direction(%d)", uint8(d))
+}
+
+// Packet is one packet of a recorded trace.
+type Packet struct {
+	// Offset is the packet's transmission time relative to the start of
+	// the trace.
+	Offset time.Duration
+	// Size is the transport payload size in bytes.
+	Size int
+	// Dir is the packet's direction.
+	Dir Direction
+	// Payload holds the packet's bytes when they matter for DPI matching
+	// (the handshake prefix carrying the SNI); nil for bulk packets, whose
+	// content is irrelevant to every consumer.
+	Payload []byte
+}
+
+// Trace is a replayable recording of one application session.
+type Trace struct {
+	// App is the service the trace was recorded from (e.g. "netflix").
+	App string
+	// Transport is the transport protocol of the recorded flow.
+	Transport Transport
+	// SNI is the server name the original recording presented in its TLS
+	// handshake; DPI-based differentiation matches on it (§2.1).
+	SNI string
+	// Packets are in non-decreasing Offset order.
+	Packets []Packet
+}
+
+// Duration returns the offset of the last packet (the replay duration when
+// replayed with recorded timing).
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Packets) == 0 {
+		return 0
+	}
+	return tr.Packets[len(tr.Packets)-1].Offset
+}
+
+// TotalBytes returns the total payload bytes transmitted in direction d.
+func (tr *Trace) TotalBytes(d Direction) int64 {
+	var total int64
+	for i := range tr.Packets {
+		if tr.Packets[i].Dir == d {
+			total += int64(tr.Packets[i].Size)
+		}
+	}
+	return total
+}
+
+// AvgRate returns the average transmission rate in direction d in bits per
+// second, computed over the trace duration. It returns 0 for traces shorter
+// than a millisecond.
+func (tr *Trace) AvgRate(d Direction) float64 {
+	dur := tr.Duration()
+	if dur < time.Millisecond {
+		return 0
+	}
+	return float64(tr.TotalBytes(d)) * 8 / dur.Seconds()
+}
+
+// Count returns the number of packets in direction d.
+func (tr *Trace) Count(d Direction) int {
+	n := 0
+	for i := range tr.Packets {
+		if tr.Packets[i].Dir == d {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the trace.
+func (tr *Trace) Clone() *Trace {
+	out := &Trace{
+		App:       tr.App,
+		Transport: tr.Transport,
+		SNI:       tr.SNI,
+		Packets:   make([]Packet, len(tr.Packets)),
+	}
+	copy(out.Packets, tr.Packets)
+	for i := range out.Packets {
+		if p := tr.Packets[i].Payload; p != nil {
+			out.Packets[i].Payload = append([]byte(nil), p...)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of a trace: non-negative sizes,
+// non-decreasing offsets, and payloads no larger than the declared size.
+func (tr *Trace) Validate() error {
+	var prev time.Duration
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Size < 0 {
+			return fmt.Errorf("trace %q: packet %d has negative size %d", tr.App, i, p.Size)
+		}
+		if p.Offset < prev {
+			return fmt.Errorf("trace %q: packet %d offset %v precedes packet %d offset %v",
+				tr.App, i, p.Offset, i-1, prev)
+		}
+		if len(p.Payload) > p.Size {
+			return fmt.Errorf("trace %q: packet %d payload %dB exceeds size %dB",
+				tr.App, i, len(p.Payload), p.Size)
+		}
+		prev = p.Offset
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTransportDirectionStrings(t *testing.T) {
+	if TCP.String() != "tcp" || UDP.String() != "udp" {
+		t.Error("Transport strings")
+	}
+	if Transport(9).String() == "" {
+		t.Error("unknown transport should still stringify")
+	}
+	if ServerToClient.String() != "s2c" || ClientToServer.String() != "c2s" {
+		t.Error("Direction strings")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction should still stringify")
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	tr := &Trace{
+		App: "test",
+		Packets: []Packet{
+			{Offset: 0, Size: 100, Dir: ClientToServer},
+			{Offset: time.Second, Size: 1000, Dir: ServerToClient},
+			{Offset: 2 * time.Second, Size: 1000, Dir: ServerToClient},
+		},
+	}
+	if tr.Duration() != 2*time.Second {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if tr.TotalBytes(ServerToClient) != 2000 {
+		t.Errorf("TotalBytes s2c = %v", tr.TotalBytes(ServerToClient))
+	}
+	if tr.TotalBytes(ClientToServer) != 100 {
+		t.Errorf("TotalBytes c2s = %v", tr.TotalBytes(ClientToServer))
+	}
+	if tr.Count(ServerToClient) != 2 {
+		t.Errorf("Count = %v", tr.Count(ServerToClient))
+	}
+	// 2000 bytes over 2 s = 8000 bit/s.
+	if got := tr.AvgRate(ServerToClient); math.Abs(got-8000) > 1e-9 {
+		t.Errorf("AvgRate = %v, want 8000", got)
+	}
+	empty := &Trace{}
+	if empty.Duration() != 0 || empty.AvgRate(ServerToClient) != 0 {
+		t.Error("empty trace accounting")
+	}
+}
+
+func TestTraceCloneIsDeep(t *testing.T) {
+	tr := &Trace{
+		App:     "x",
+		SNI:     "x.com",
+		Packets: []Packet{{Size: 3, Payload: []byte{1, 2, 3}}},
+	}
+	cl := tr.Clone()
+	cl.Packets[0].Payload[0] = 99
+	cl.Packets[0].Size = 7
+	if tr.Packets[0].Payload[0] != 1 || tr.Packets[0].Size != 3 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := &Trace{Packets: []Packet{{Offset: 0, Size: 10}, {Offset: time.Second, Size: 10}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := &Trace{Packets: []Packet{{Offset: time.Second, Size: 10}, {Offset: 0, Size: 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted offsets accepted")
+	}
+	neg := &Trace{Packets: []Packet{{Size: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative size accepted")
+	}
+	overflow := &Trace{Packets: []Packet{{Size: 2, Payload: []byte{1, 2, 3}}}}
+	if err := overflow.Validate(); err == nil {
+		t.Error("payload larger than size accepted")
+	}
+}
+
+func TestGenerateAllApps(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			tr, err := Generate(p.Name, rng, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Transport != p.Transport {
+				t.Errorf("transport = %v, want %v", tr.Transport, p.Transport)
+			}
+			if got := tr.Duration(); got < 9*time.Second || got > 12*time.Second {
+				t.Errorf("duration = %v, want ≈10s", got)
+			}
+			// Average rate should land within a factor ~2 of the profile's
+			// nominal rate (segment/frame size randomness moves it around).
+			var nominal float64
+			if p.Transport == TCP {
+				nominal = p.Bitrate
+			} else {
+				nominal = float64(p.MeanFrameSize) * 8 / p.FrameInterval.Seconds()
+			}
+			got := tr.AvgRate(ServerToClient)
+			if got < nominal*0.4 || got > nominal*2.2 {
+				t.Errorf("AvgRate = %.0f, profile nominal %.0f", got, nominal)
+			}
+			// The handshake must carry the SNI for DPI to match.
+			if sni := SNIFromPayload(tr.Packets[0].Payload); sni != p.SNI {
+				t.Errorf("handshake SNI = %q, want %q", sni, p.SNI)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("netflix", rand.New(rand.NewSource(7)), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("netflix", rand.New(rand.NewSource(7)), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i].Offset != b.Packets[i].Offset ||
+			a.Packets[i].Size != b.Packets[i].Size || a.Packets[i].Dir != b.Packets[i].Dir {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestGenerateUnknownApp(t *testing.T) {
+	if _, err := Generate("myspace", rand.New(rand.NewSource(1)), time.Second); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestVideoAndRTCAppLists(t *testing.T) {
+	if got := len(VideoApps()); got != 5 {
+		t.Errorf("VideoApps = %v", VideoApps())
+	}
+	if got := len(RTCApps()); got != 5 {
+		t.Errorf("RTCApps = %v", RTCApps())
+	}
+}
+
+func TestSNIFromPayloadRejectsGarbage(t *testing.T) {
+	if got := SNIFromPayload(nil); got != "" {
+		t.Errorf("nil payload: %q", got)
+	}
+	if got := SNIFromPayload([]byte{1, 2, 3}); got != "" {
+		t.Errorf("short garbage: %q", got)
+	}
+	hello := clientHello("example.com")
+	if got := SNIFromPayload(hello); got != "example.com" {
+		t.Errorf("round trip: %q", got)
+	}
+	// Truncated length field.
+	trunc := append([]byte(nil), hello[:6]...)
+	if got := SNIFromPayload(trunc); got != "" {
+		t.Errorf("truncated: %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BitInvert returns the bit-inverted version of tr: identical packet sizes
+// and timings, with every payload byte XORed with 0xFF. This is WeHe's
+// control measurement — it destroys whatever plaintext patterns (notably the
+// SNI) a DPI-based differentiation device might match on, while keeping the
+// traffic shape identical (§2.1).
+func BitInvert(tr *Trace) *Trace {
+	out := tr.Clone()
+	out.App = tr.App + "-inverted"
+	out.SNI = "" // no longer observable on the wire
+	for i := range out.Packets {
+		p := out.Packets[i].Payload
+		for j := range p {
+			p[j] ^= 0xFF
+		}
+	}
+	return out
+}
+
+// PoissonRetime returns a copy of tr whose packet transmission times follow
+// a Poisson process with the same average rate as the original (§3.4,
+// "UDP Replay: Poisson"). Packet sizes, contents, directions, and order are
+// preserved; only offsets change. Per the PASTA property, a Poisson probe
+// stream asymptotically sees the true loss rate of the underlying
+// bottleneck, making WeHeY's per-interval loss rates unbiased estimates.
+//
+// Only the ServerToClient packets are retimed (they are the measurement
+// stream); ClientToServer packets keep their original offsets.
+func PoissonRetime(rng *rand.Rand, tr *Trace) *Trace {
+	out := tr.Clone()
+	out.App = tr.App + "-poisson"
+	n := out.Count(ServerToClient)
+	if n == 0 {
+		return out
+	}
+	dur := out.Duration()
+	if dur <= 0 {
+		return out
+	}
+	// Mean inter-arrival preserving the average rate: duration / n.
+	mean := dur.Seconds() / float64(n)
+	t := 0.0
+	for i := range out.Packets {
+		if out.Packets[i].Dir != ServerToClient {
+			continue
+		}
+		t += rng.ExpFloat64() * mean
+		out.Packets[i].Offset = time.Duration(t * float64(time.Second))
+	}
+	// Offsets must stay sorted across both directions for replay engines;
+	// re-sort stably so same-direction packet order is preserved.
+	sortPacketsByOffset(out.Packets)
+	return out
+}
+
+// ExtendTo repeats the trace back-to-back until its duration reaches at
+// least minDur (§3.4: traces are extended to at least 45 s so the replay
+// yields enough loss measurements for a reliable conclusion). A small
+// inter-repetition gap equal to the trace's mean inter-packet time keeps
+// repetitions from overlapping.
+func ExtendTo(tr *Trace, minDur time.Duration) *Trace {
+	out := tr.Clone()
+	if out.Duration() >= minDur || len(out.Packets) == 0 {
+		return out
+	}
+	base := append([]Packet(nil), out.Packets...)
+	gap := out.Duration() / time.Duration(len(base)+1)
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	for out.Duration() < minDur {
+		shift := out.Duration() + gap
+		for _, p := range base {
+			q := p
+			if q.Payload != nil {
+				q.Payload = append([]byte(nil), q.Payload...)
+			}
+			q.Offset += shift
+			out.Packets = append(out.Packets, q)
+		}
+	}
+	return out
+}
+
+// ReplayDuration is the minimum duration WeHeY extends replayed traces to.
+const ReplayDuration = 45 * time.Second
+
+// sortPacketsByOffset stably sorts packets by offset (insertion sort: inputs
+// are nearly sorted after retiming, so this is effectively linear).
+func sortPacketsByOffset(ps []Packet) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Offset < ps[j-1].Offset; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

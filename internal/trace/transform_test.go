@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBitInvertDestroysSNIKeepsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig, err := Generate("zoom", rng, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := BitInvert(orig)
+
+	if len(inv.Packets) != len(orig.Packets) {
+		t.Fatal("packet count changed")
+	}
+	for i := range orig.Packets {
+		if inv.Packets[i].Offset != orig.Packets[i].Offset {
+			t.Fatalf("packet %d timing changed", i)
+		}
+		if inv.Packets[i].Size != orig.Packets[i].Size {
+			t.Fatalf("packet %d size changed", i)
+		}
+		if inv.Packets[i].Dir != orig.Packets[i].Dir {
+			t.Fatalf("packet %d direction changed", i)
+		}
+	}
+	// The SNI must no longer be recoverable from the inverted handshake.
+	if got := SNIFromPayload(inv.Packets[0].Payload); got != "" {
+		t.Errorf("inverted payload still exposes SNI %q", got)
+	}
+	// Original must be untouched.
+	if got := SNIFromPayload(orig.Packets[0].Payload); got != "zoom.us" {
+		t.Errorf("original mutated: SNI = %q", got)
+	}
+	// Double inversion restores the payload.
+	re := BitInvert(inv)
+	if got := SNIFromPayload(re.Packets[0].Payload); got != "zoom.us" {
+		t.Errorf("double inversion: SNI = %q", got)
+	}
+}
+
+func TestPoissonRetimePreservesRateAndContents(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig, err := Generate("skype", rng, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := PoissonRetime(rand.New(rand.NewSource(5)), orig)
+	if err := ret.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ret.Count(ServerToClient) != orig.Count(ServerToClient) {
+		t.Fatal("downstream packet count changed")
+	}
+	if ret.TotalBytes(ServerToClient) != orig.TotalBytes(ServerToClient) {
+		t.Fatal("downstream bytes changed")
+	}
+	// Average rate preserved within ~15% (Poisson duration fluctuates).
+	or, rr := orig.AvgRate(ServerToClient), ret.AvgRate(ServerToClient)
+	if math.Abs(or-rr)/or > 0.15 {
+		t.Errorf("rate drifted: orig %.0f retimed %.0f", or, rr)
+	}
+	// Inter-arrival CV should be ≈1 for exponential spacing (the original
+	// frame-clocked trace has CV << 1).
+	cv := func(tr *Trace) float64 {
+		var gaps []float64
+		var prev time.Duration
+		first := true
+		for _, p := range tr.Packets {
+			if p.Dir != ServerToClient {
+				continue
+			}
+			if !first {
+				gaps = append(gaps, (p.Offset - prev).Seconds())
+			}
+			prev = p.Offset
+			first = false
+		}
+		m := 0.0
+		for _, g := range gaps {
+			m += g
+		}
+		m /= float64(len(gaps))
+		v := 0.0
+		for _, g := range gaps {
+			v += (g - m) * (g - m)
+		}
+		v /= float64(len(gaps) - 1)
+		return math.Sqrt(v) / m
+	}
+	if got := cv(ret); got < 0.8 || got > 1.25 {
+		t.Errorf("retimed inter-arrival CV = %v, want ≈1 (Poisson)", got)
+	}
+	// The original is frame-clocked: gaps cluster at the fragment spacing
+	// (~200 µs) and the frame interval; the retimed trace spreads them out.
+	clocked := func(tr *Trace) float64 {
+		prof, _ := ProfileByName("skype")
+		var total, near int
+		var prev time.Duration
+		first := true
+		for _, p := range tr.Packets {
+			if p.Dir != ServerToClient {
+				continue
+			}
+			if !first {
+				gap := p.Offset - prev
+				total++
+				if gap < 400*time.Microsecond ||
+					(gap > prof.FrameInterval/2 && gap < prof.FrameInterval*2) {
+					near++
+				}
+			}
+			prev = p.Offset
+			first = false
+		}
+		return float64(near) / float64(total)
+	}
+	if got := clocked(orig); got < 0.9 {
+		t.Errorf("original gaps clocked fraction = %v, want ≥0.9", got)
+	}
+	if got := clocked(ret); got > 0.85 {
+		t.Errorf("retimed gaps still clocked (%v); Poisson should spread them", got)
+	}
+}
+
+func TestPoissonRetimeEmptyAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	empty := &Trace{App: "x"}
+	if got := PoissonRetime(rng, empty); len(got.Packets) != 0 {
+		t.Error("empty trace should stay empty")
+	}
+	only := &Trace{App: "x", Packets: []Packet{{Offset: 0, Size: 10, Dir: ClientToServer}}}
+	got := PoissonRetime(rng, only)
+	if got.Packets[0].Offset != 0 {
+		t.Error("c2s-only trace should be unchanged")
+	}
+}
+
+func TestExtendTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig, err := Generate("whatsapp", rng, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := ExtendTo(orig, ReplayDuration)
+	if err := ext.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ext.Duration() < ReplayDuration {
+		t.Errorf("duration = %v, want ≥ %v", ext.Duration(), ReplayDuration)
+	}
+	if ext.Duration() > ReplayDuration+12*time.Second {
+		t.Errorf("over-extended: %v", ext.Duration())
+	}
+	// Already-long traces are returned as-is.
+	same := ExtendTo(ext, ReplayDuration)
+	if len(same.Packets) != len(ext.Packets) {
+		t.Error("already-long trace was extended")
+	}
+	// Rate is approximately preserved.
+	or, er := orig.AvgRate(ServerToClient), ext.AvgRate(ServerToClient)
+	if math.Abs(or-er)/or > 0.1 {
+		t.Errorf("rate drifted under extension: %.0f vs %.0f", or, er)
+	}
+}
+
+func TestExtendToEmptyTrace(t *testing.T) {
+	empty := &Trace{App: "x"}
+	if got := ExtendTo(empty, time.Minute); len(got.Packets) != 0 {
+		t.Error("empty trace should stay empty")
+	}
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// DgramSender replays a UDP trace's server→client packets over a real UDP
+// socket: unreliable, schedule-driven (the trace's offsets, typically
+// Poisson-retimed per §3.4).
+type DgramSender struct {
+	conn *net.UDPConn
+	id   uint32
+
+	mu      sync.Mutex
+	TxLog   []time.Duration
+	TxCount int64
+}
+
+// NewDgramSender wraps a connected UDP socket.
+func NewDgramSender(conn *net.UDPConn, connID uint32) *DgramSender {
+	return &DgramSender{conn: conn, id: connID}
+}
+
+// Replay transmits tr's ServerToClient packets at their recorded offsets
+// (sleeping between sends), stopping early if ctx ends. Packet 0 carries
+// tr's handshake payload when present, so DPI classifiers see the SNI.
+func (d *DgramSender) Replay(ctx context.Context, tr *trace.Trace) error {
+	start := time.Now()
+	seq := uint64(0)
+	buf := make([]byte, 0, headerSize+MaxPayload)
+	var hello []byte
+	if len(tr.Packets) > 0 && tr.Packets[0].Payload != nil {
+		hello = tr.Packets[0].Payload
+	}
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Dir != trace.ServerToClient {
+			continue
+		}
+		wait := p.Offset - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		size := p.Size
+		if size > MaxPayload {
+			size = MaxPayload
+		}
+		h := header{Type: typeDgram, Conn: d.id, Seq: seq, Stamp: time.Now().UnixNano(), Len: uint16(size)}
+		buf = h.marshal(buf)
+		payload := make([]byte, size)
+		if seq == 0 && hello != nil {
+			copy(payload, hello)
+		}
+		buf = append(buf, payload...)
+		d.conn.Write(buf) //nolint:errcheck
+		d.mu.Lock()
+		d.TxLog = append(d.TxLog, time.Since(start))
+		d.TxCount++
+		d.mu.Unlock()
+		seq++
+	}
+	return nil
+}
+
+// Sent returns the number of datagrams transmitted so far.
+func (d *DgramSender) Sent() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.TxCount
+}
+
+// Measurements converts the sender-side transmission log. The loss log
+// lives on the receiver for datagram replays (§3.4: the client tracks UDP
+// loss).
+func (d *DgramSender) Measurements(dur, rtt time.Duration) measure.Path {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return measure.Path{RTT: rtt, Duration: dur, Tx: append([]time.Duration(nil), d.TxLog...)}
+}
+
+// DgramReceiver is the client side of a datagram replay: it detects losses
+// from sequence gaps, registering each missing packet when the gap becomes
+// observable.
+type DgramReceiver struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	start     time.Time
+	expected  uint64
+	Delivered []measure.Delivery
+	LossLog   []time.Duration
+	RecvCount int64
+}
+
+// NewDgramReceiver wraps a connected UDP socket.
+func NewDgramReceiver(conn *net.UDPConn) *DgramReceiver {
+	return &DgramReceiver{conn: conn}
+}
+
+// Serve records arrivals until ctx ends.
+func (r *DgramReceiver) Serve(ctx context.Context) error {
+	r.mu.Lock()
+	r.start = time.Now()
+	r.mu.Unlock()
+	buf := make([]byte, 65536)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		n, err := r.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		h, payload, err := parseHeader(buf[:n])
+		if err != nil || h.Type != typeDgram {
+			continue
+		}
+		now := time.Now()
+		r.mu.Lock()
+		at := now.Sub(r.start)
+		for s := r.expected; s < h.Seq; s++ {
+			r.LossLog = append(r.LossLog, at)
+		}
+		if h.Seq >= r.expected {
+			r.expected = h.Seq + 1
+		}
+		r.RecvCount++
+		r.Delivered = append(r.Delivered, measure.Delivery{At: at, Bytes: len(payload)})
+		r.mu.Unlock()
+	}
+}
+
+// Finish registers tail losses given the total number of packets the
+// sender scheduled.
+func (r *DgramReceiver) Finish(total int64, at time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for s := r.expected; s < uint64(total); s++ {
+		r.LossLog = append(r.LossLog, at)
+	}
+	r.expected = uint64(total)
+}
+
+// Measurements merges the sender's transmission log with the client-side
+// loss log (the UDP measurement split of §3.4).
+func (r *DgramReceiver) Measurements(tx []time.Duration, dur, rtt time.Duration) measure.Path {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return measure.Path{
+		RTT:      rtt,
+		Duration: dur,
+		Tx:       append([]time.Duration(nil), tx...),
+		Loss:     append([]time.Duration(nil), r.LossLog...),
+	}
+}
+
+// Deliveries returns a copy of the recorded arrivals.
+func (r *DgramReceiver) Deliveries() []measure.Delivery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]measure.Delivery(nil), r.Delivered...)
+}

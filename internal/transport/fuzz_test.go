@@ -1,0 +1,34 @@
+package transport
+
+import "testing"
+
+// FuzzParseHeader checks that the wire-header parser never panics and that
+// accepted headers re-marshal to an equal prefix.
+func FuzzParseHeader(f *testing.F) {
+	h := header{Type: typeData, Flags: flagRetransmission, Conn: 3, Seq: 9, Stamp: 1234, Len: 2}
+	buf := h.marshal(nil)
+	buf = append(buf, 0xAA, 0xBB)
+	f.Add(buf)
+	f.Add(HelloPacket(1))
+	f.Add([]byte{})
+	f.Add(make([]byte, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, payload, err := parseHeader(data)
+		if err != nil {
+			return
+		}
+		if int(got.Len) != len(payload) {
+			t.Fatalf("payload length mismatch: %d vs %d", got.Len, len(payload))
+		}
+		re := got.marshal(nil)
+		re = append(re, payload...)
+		got2, payload2, err := parseHeader(re)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if got2 != got || len(payload2) != len(payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// Receiver is the client side of a reliable transfer: it acknowledges every
+// data packet and records application-level delivery events (unique bytes
+// with arrival times), from which WeHe-style throughput samples are binned.
+type Receiver struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	start     time.Time
+	seen      map[uint64]bool
+	Delivered []measure.Delivery
+	DupCount  int64
+	FinSeen   bool
+}
+
+// NewReceiver wraps a connected UDP socket.
+func NewReceiver(conn *net.UDPConn) *Receiver {
+	return &Receiver{conn: conn, seen: make(map[uint64]bool)}
+}
+
+// Serve acknowledges data until the context ends or a FIN arrives.
+func (r *Receiver) Serve(ctx context.Context) error {
+	r.mu.Lock()
+	r.start = time.Now()
+	r.mu.Unlock()
+	buf := make([]byte, 65536)
+	out := make([]byte, 0, headerSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		n, err := r.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		h, payload, err := parseHeader(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch h.Type {
+		case typeData:
+			r.mu.Lock()
+			if !r.seen[h.Seq] {
+				r.seen[h.Seq] = true
+				r.Delivered = append(r.Delivered, measure.Delivery{
+					At:    time.Since(r.start),
+					Bytes: len(payload),
+				})
+			} else {
+				r.DupCount++
+			}
+			r.mu.Unlock()
+			ack := header{Type: typeAck, Flags: h.Flags, Conn: h.Conn, Seq: h.Seq, Stamp: h.Stamp}
+			out = ack.marshal(out)
+			r.conn.Write(out) //nolint:errcheck
+		case typeFin:
+			r.mu.Lock()
+			r.FinSeen = true
+			r.mu.Unlock()
+			ack := header{Type: typeFinAck, Conn: h.Conn, Stamp: h.Stamp}
+			out = ack.marshal(out)
+			r.conn.Write(out) //nolint:errcheck
+			return nil
+		}
+	}
+}
+
+// Deliveries returns a copy of the recorded arrivals.
+func (r *Receiver) Deliveries() []measure.Delivery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]measure.Delivery(nil), r.Delivered...)
+}
+
+// DeliveredBytes totals the unique bytes received.
+func (r *Receiver) DeliveredBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, d := range r.Delivered {
+		total += int64(d.Bytes)
+	}
+	return total
+}

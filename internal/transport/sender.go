@@ -1,0 +1,515 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+// SenderConfig parameterizes a reliable transfer. Zero values = defaults.
+type SenderConfig struct {
+	// Segment is the payload bytes per data packet (default MaxPayload).
+	Segment int
+	// InitCwnd is the initial window in segments (default 10).
+	InitCwnd float64
+	// MinRTO bounds the retransmission timeout (default 200 ms).
+	MinRTO time.Duration
+	// MaxRTO caps exponential backoff (default 4 s — replays last tens of
+	// seconds, so a server keeps probing rather than going silent).
+	MaxRTO time.Duration
+	// InitRTTGuess seeds pacing before the first sample (default 50 ms).
+	InitRTTGuess time.Duration
+	// Pacing spreads transmissions at cwnd/srtt (default true via
+	// NewSender; set Unpaced to disable).
+	Unpaced bool
+	// ConnID tags the flow on the wire.
+	ConnID uint32
+	// Hello is sent as the first data payload (the SNI-bearing handshake
+	// prefix; the middlebox's DPI classifier inspects it).
+	Hello []byte
+	// AppRate, when positive, bounds the application's average data
+	// release rate in bits/s — a trace replay fed at the recording's
+	// natural rate (§3.4) rather than a backlogged bulk transfer. A small
+	// initial credit lets congestion control start.
+	AppRate float64
+}
+
+func (c *SenderConfig) fill() {
+	if c.Segment <= 0 || c.Segment > MaxPayload {
+		c.Segment = MaxPayload
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = 10
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 4 * time.Second
+	}
+	if c.InitRTTGuess <= 0 {
+		c.InitRTTGuess = 50 * time.Millisecond
+	}
+}
+
+type sentPkt struct {
+	seq      uint64
+	sendIdx  uint64
+	sentAt   time.Time
+	rtx      int
+	acked    bool
+	lost     bool
+	dupCount int
+}
+
+// Sender is the server side of a reliable transfer over a connected UDP
+// socket. It records the measurement logs WeHeY's server collects: every
+// transmission, every loss-event registration (retransmission decision),
+// and RTT samples.
+type Sender struct {
+	conn *net.UDPConn
+	cfg  SenderConfig
+
+	mu          sync.Mutex
+	start       time.Time
+	nextSeq     uint64
+	sendIdx     uint64
+	inflight    int
+	cwnd        float64
+	ssthresh    float64
+	srtt        time.Duration
+	rttvar      time.Duration
+	rto         time.Duration
+	haveSample  bool
+	lastAckAt   time.Time
+	lastCutAt   time.Time
+	outstanding []*sentPkt
+	bySeq       map[uint64]*sentPkt
+	rtxQueue    []uint64
+	totalSegs   uint64
+	ackedSegs   uint64
+	nextPaceAt  time.Time
+
+	kick chan struct{}
+
+	// Measurement logs (durations relative to Transfer start).
+	TxLog      []time.Duration
+	LossLog    []time.Duration
+	RTTSamples []time.Duration
+	TxCount    int64
+	RtxCount   int64
+}
+
+// NewSender wraps a connected UDP socket.
+func NewSender(conn *net.UDPConn, cfg SenderConfig) *Sender {
+	cfg.fill()
+	return &Sender{
+		conn:     conn,
+		cfg:      cfg,
+		cwnd:     cfg.InitCwnd,
+		ssthresh: math.Inf(1),
+		srtt:     cfg.InitRTTGuess,
+		rto:      time.Second,
+		bySeq:    make(map[uint64]*sentPkt),
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// Transfer sends totalBytes of data (or as much as fits before ctx ends),
+// blocking until everything is acknowledged, the context is done, or the
+// deadline passes. totalBytes <= 0 means "until ctx is done".
+func (s *Sender) Transfer(ctx context.Context, totalBytes int64) error {
+	s.mu.Lock()
+	s.start = time.Now()
+	s.lastAckAt = s.start
+	if totalBytes > 0 {
+		s.totalSegs = uint64((totalBytes + int64(s.cfg.Segment) - 1) / int64(s.cfg.Segment))
+	} else {
+		s.totalSegs = math.MaxUint64
+	}
+	s.mu.Unlock()
+
+	readerCtx, cancelReader := context.WithCancel(context.Background())
+	defer cancelReader()
+	readErr := make(chan error, 1)
+	go func() { readErr <- s.readAcks(readerCtx) }()
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		wait, done := s.step()
+		if done {
+			break
+		}
+		if wait <= 0 {
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-ctx.Done():
+			s.sendFin()
+			cancelReader()
+			<-readErr
+			return ctx.Err()
+		case <-s.kick:
+		case <-timer.C:
+		}
+	}
+	s.sendFin()
+	cancelReader()
+	<-readErr
+	return nil
+}
+
+// step performs at most one action (transmission or timeout handling) and
+// returns how long to wait before the next attempt, plus completion.
+func (s *Sender) step() (wait time.Duration, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+
+	if s.ackedSegs >= s.totalSegs {
+		return 0, true
+	}
+
+	// RTO check; an unexpired deadline participates in the wait
+	// computation below.
+	if _, expired := s.rtoDeadlineLocked(now); expired {
+		s.timeoutLocked(now)
+	}
+
+	// Pacing gate.
+	if !s.cfg.Unpaced && now.Before(s.nextPaceAt) {
+		return s.minWaitLocked(now), false
+	}
+	if s.inflight < int(s.cwnd) {
+		if sent := s.sendOneLocked(now); sent {
+			if !s.cfg.Unpaced {
+				s.nextPaceAt = now.Add(s.paceIntervalLocked())
+			}
+			return 0, false
+		}
+	}
+	return s.minWaitLocked(now), false
+}
+
+// appReleasedLocked reports whether the application has released the next
+// segment at the configured AppRate.
+func (s *Sender) appReleasedLocked(now time.Time) bool {
+	if s.cfg.AppRate <= 0 {
+		return true
+	}
+	const initialCredit = 64 * 1024 // bytes available at t=0
+	released := int64(s.cfg.AppRate/8*now.Sub(s.start).Seconds()) + initialCredit
+	return int64(s.nextSeq)*int64(s.cfg.Segment) < released
+}
+
+// minWaitLocked computes the earliest of the pacing and RTO deadlines.
+func (s *Sender) minWaitLocked(now time.Time) time.Duration {
+	wait := 50 * time.Millisecond // idle fallback
+	if s.cfg.AppRate > 0 {
+		// Wake when the next segment is released.
+		if d := time.Duration(float64(s.cfg.Segment*8) / s.cfg.AppRate * float64(time.Second)); d < wait {
+			wait = d
+		}
+	}
+	if !s.cfg.Unpaced && s.nextPaceAt.After(now) {
+		if d := s.nextPaceAt.Sub(now); d < wait {
+			wait = d
+		}
+	}
+	if deadline, _ := s.rtoDeadlineLocked(now); !deadline.IsZero() {
+		if d := deadline.Sub(now); d > 0 && d < wait {
+			wait = d
+		} else if d <= 0 {
+			wait = time.Millisecond
+		}
+	}
+	if wait < 100*time.Microsecond {
+		wait = 100 * time.Microsecond
+	}
+	return wait
+}
+
+// rtoDeadlineLocked returns the current timeout deadline and whether it has
+// expired. Zero deadline = nothing outstanding.
+func (s *Sender) rtoDeadlineLocked(now time.Time) (time.Time, bool) {
+	var oldest *sentPkt
+	for _, o := range s.outstanding {
+		if !o.acked && !o.lost {
+			oldest = o
+			break
+		}
+	}
+	if oldest == nil {
+		return time.Time{}, false
+	}
+	ref := oldest.sentAt
+	if s.lastAckAt.After(ref) {
+		ref = s.lastAckAt
+	}
+	deadline := ref.Add(s.rto)
+	return deadline, now.After(deadline)
+}
+
+// timeoutLocked implements go-back-N timeout recovery (mirrors netsim).
+func (s *Sender) timeoutLocked(now time.Time) {
+	fired := false
+	for _, o := range s.outstanding {
+		if o.acked || o.lost {
+			continue
+		}
+		o.lost = true
+		s.inflight--
+		s.LossLog = append(s.LossLog, now.Sub(s.start))
+		s.rtxQueue = append(s.rtxQueue, o.seq)
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	s.ssthresh = math.Max(s.cwnd/2, 2)
+	s.cwnd = 1
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.lastCutAt = now
+	s.lastAckAt = now // restart the timer for the retransmissions
+}
+
+func (s *Sender) popRtxLocked() *sentPkt {
+	for len(s.rtxQueue) > 0 {
+		seq := s.rtxQueue[0]
+		s.rtxQueue = s.rtxQueue[1:]
+		if st := s.bySeq[seq]; st != nil && !st.acked && st.lost {
+			return st
+		}
+	}
+	return nil
+}
+
+func (s *Sender) sendOneLocked(now time.Time) bool {
+	st := s.popRtxLocked()
+	if st != nil {
+		st.rtx++
+		st.lost = false
+		st.dupCount = 0
+		s.RtxCount++
+	} else {
+		if s.nextSeq >= s.totalSegs || !s.appReleasedLocked(now) {
+			return false
+		}
+		st = &sentPkt{seq: s.nextSeq}
+		s.nextSeq++
+		s.bySeq[st.seq] = st
+		s.outstanding = append(s.outstanding, st)
+	}
+	s.sendIdx++
+	st.sendIdx = s.sendIdx
+	st.sentAt = now
+	s.inflight++
+	s.TxCount++
+	s.TxLog = append(s.TxLog, now.Sub(s.start))
+
+	h := header{Type: typeData, Conn: s.cfg.ConnID, Seq: st.seq, Stamp: now.UnixNano()}
+	if st.rtx > 0 {
+		h.Flags |= flagRetransmission
+	}
+	payload := s.payloadFor(st.seq)
+	h.Len = uint16(len(payload))
+	buf := make([]byte, 0, headerSize+len(payload))
+	buf = h.marshal(buf)
+	buf = append(buf, payload...)
+	s.conn.Write(buf) //nolint:errcheck // datagram sends are fire-and-forget
+	return true
+}
+
+// payloadFor returns segment seq's bytes: the hello prefix for segment 0
+// (DPI-visible), filler afterwards.
+func (s *Sender) payloadFor(seq uint64) []byte {
+	out := make([]byte, s.cfg.Segment)
+	if seq == 0 && len(s.cfg.Hello) > 0 {
+		copy(out, s.cfg.Hello)
+	}
+	return out
+}
+
+func (s *Sender) paceIntervalLocked() time.Duration {
+	rtt := s.srtt
+	if rtt <= 0 {
+		rtt = s.cfg.InitRTTGuess
+	}
+	interval := time.Duration(float64(rtt) / s.cwnd)
+	if interval < 20*time.Microsecond {
+		interval = 20 * time.Microsecond
+	}
+	return interval
+}
+
+// readAcks processes ACK/FINACK packets until the context is cancelled.
+func (s *Sender) readAcks(ctx context.Context) error {
+	buf := make([]byte, 65536)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		h, _, err := parseHeader(buf[:n])
+		if err != nil || h.Type != typeAck || h.Conn != s.cfg.ConnID {
+			continue
+		}
+		s.handleAck(h)
+	}
+}
+
+func (s *Sender) handleAck(h header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	st := s.bySeq[h.Seq]
+	if st == nil || st.acked {
+		return
+	}
+	s.lastAckAt = now
+	st.acked = true
+	s.ackedSegs++
+	if !st.lost {
+		s.inflight--
+	}
+	// Karn: sample RTT only for never-retransmitted packets, using the
+	// echoed stamp.
+	if st.rtx == 0 && h.Flags&flagRetransmission == 0 && h.Stamp > 0 {
+		s.addRTTSampleLocked(time.Duration(now.UnixNano() - h.Stamp))
+	}
+	if s.cwnd < s.ssthresh {
+		s.cwnd++
+	} else {
+		s.cwnd += 1 / s.cwnd
+	}
+	// 3-packets-later loss inference.
+	lossDetected := false
+	for _, o := range s.outstanding {
+		if o.acked || o.lost || o.sendIdx >= st.sendIdx {
+			continue
+		}
+		o.dupCount++
+		if o.dupCount >= 3 {
+			o.lost = true
+			s.inflight--
+			s.LossLog = append(s.LossLog, now.Sub(s.start))
+			s.rtxQueue = append(s.rtxQueue, o.seq)
+			lossDetected = true
+		}
+	}
+	if lossDetected && now.Sub(s.lastCutAt) > s.srtt {
+		s.ssthresh = math.Max(s.cwnd/2, 2)
+		s.cwnd = s.ssthresh
+		s.lastCutAt = now
+	}
+	// Compact the acked prefix.
+	i := 0
+	for i < len(s.outstanding) && s.outstanding[i].acked {
+		delete(s.bySeq, s.outstanding[i].seq)
+		i++
+	}
+	if i > 0 {
+		s.outstanding = s.outstanding[i:]
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Sender) addRTTSampleLocked(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	s.RTTSamples = append(s.RTTSamples, rtt)
+	if !s.haveSample {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.haveSample = true
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+func (s *Sender) sendFin() {
+	h := header{Type: typeFin, Conn: s.cfg.ConnID, Stamp: time.Now().UnixNano()}
+	buf := h.marshal(make([]byte, 0, headerSize))
+	for i := 0; i < 3; i++ {
+		s.conn.Write(buf) //nolint:errcheck
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Measurements converts the sender's logs to the shared measurement record.
+func (s *Sender) Measurements(dur, rtt time.Duration) measure.Path {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return measure.Path{
+		RTT:      rtt,
+		Duration: dur,
+		Tx:       append([]time.Duration(nil), s.TxLog...),
+		Loss:     append([]time.Duration(nil), s.LossLog...),
+	}
+}
+
+// RetransmissionRate returns retransmitted/total transmissions.
+func (s *Sender) RetransmissionRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.TxCount == 0 {
+		return 0
+	}
+	return float64(s.RtxCount) / float64(s.TxCount)
+}
+
+// MinAndAvgRTT returns the minimum and mean of the RTT samples.
+func (s *Sender) MinAndAvgRTT() (min, avg time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.RTTSamples) == 0 {
+		return 0, 0
+	}
+	min = s.RTTSamples[0]
+	var sum time.Duration
+	for _, r := range s.RTTSamples {
+		if r < min {
+			min = r
+		}
+		sum += r
+	}
+	return min, sum / time.Duration(len(s.RTTSamples))
+}

@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// udpPair creates two loopback sockets connected to each other.
+func udpPair(t *testing.T) (a, b *net.UDPConn) {
+	t.Helper()
+	// Reserve an ephemeral port for b, release it, then connect a toward
+	// it and bind b onto it connected back to a.
+	tmp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := tmp.LocalAddr().(*net.UDPAddr)
+	tmp.Close()
+	a, err = net.DialUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}, bAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = net.DialUDP("udp", bAddr, a.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := header{Type: typeData, Flags: flagRetransmission, Conn: 7, Seq: 42, Stamp: 123456789, Len: 3}
+	buf := h.marshal(nil)
+	buf = append(buf, 1, 2, 3)
+	got, payload, err := parseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header = %+v, want %+v", got, h)
+	}
+	if len(payload) != 3 || payload[0] != 1 {
+		t.Errorf("payload = %v", payload)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),
+		make([]byte, headerSize), // zero magic
+	}
+	for i, c := range cases {
+		if _, _, err := parseHeader(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Bad type.
+	h := header{Type: 99}
+	if _, _, err := parseHeader(h.marshal(nil)); err == nil {
+		t.Error("bad type accepted")
+	}
+	// Truncated payload.
+	h = header{Type: typeData, Len: 10}
+	if _, _, err := parseHeader(h.marshal(nil)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestReliableTransferLoopback(t *testing.T) {
+	serverConn, clientConn := udpPair(t)
+	sender := NewSender(serverConn, SenderConfig{ConnID: 1, Hello: []byte("netflix-handshake")})
+	receiver := NewReceiver(clientConn)
+
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- receiver.Serve(rctx) }()
+
+	const total = 512 * 1024
+	ctx, tcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer tcancel()
+	if err := sender.Transfer(ctx, total); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	cancel()
+	<-done
+
+	if got := receiver.DeliveredBytes(); got < total || got > total+int64(sender.cfg.Segment) {
+		t.Errorf("delivered %d, want ≈%d", got, total)
+	}
+	if sender.RtxCount > sender.TxCount/10 {
+		t.Errorf("excessive retransmissions on loopback: %d/%d", sender.RtxCount, sender.TxCount)
+	}
+	if len(sender.RTTSamples) == 0 {
+		t.Error("no RTT samples")
+	}
+	// Hello bytes must be in segment 0's payload (DPI visibility).
+	ds := receiver.Deliveries()
+	if len(ds) == 0 {
+		t.Fatal("no deliveries")
+	}
+}
+
+func TestReliableTransferDeadline(t *testing.T) {
+	serverConn, clientConn := udpPair(t)
+	sender := NewSender(serverConn, SenderConfig{ConnID: 2})
+	receiver := NewReceiver(clientConn)
+
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go receiver.Serve(rctx) //nolint:errcheck
+
+	ctx, tcancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer tcancel()
+	err := sender.Transfer(ctx, 0) // unlimited
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if sender.TxCount == 0 {
+		t.Error("nothing transmitted before the deadline")
+	}
+}
+
+func TestSenderMeasurementsShape(t *testing.T) {
+	serverConn, clientConn := udpPair(t)
+	sender := NewSender(serverConn, SenderConfig{ConnID: 3})
+	receiver := NewReceiver(clientConn)
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go receiver.Serve(rctx) //nolint:errcheck
+	ctx, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer tcancel()
+	if err := sender.Transfer(ctx, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	m := sender.Measurements(time.Second, 20*time.Millisecond)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tx) != int(sender.TxCount) {
+		t.Errorf("Tx log %d, TxCount %d", len(m.Tx), sender.TxCount)
+	}
+}
+
+func TestDatagramReplayLoopback(t *testing.T) {
+	serverConn, clientConn := udpPair(t)
+	tr, err := trace.Generate("zoom", rand.New(rand.NewSource(1)), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewDgramSender(serverConn, 4)
+	receiver := NewDgramReceiver(clientConn)
+
+	rctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go receiver.Serve(rctx) //nolint:errcheck
+
+	ctx, tcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer tcancel()
+	if err := sender.Replay(ctx, tr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	receiver.Finish(sender.Sent(), 2*time.Second)
+
+	want := int64(tr.Count(trace.ServerToClient))
+	if sender.Sent() != want {
+		t.Errorf("sent %d, want %d", sender.Sent(), want)
+	}
+	if receiver.RecvCount != want {
+		t.Errorf("received %d, want %d (loopback, no loss)", receiver.RecvCount, want)
+	}
+	if len(receiver.LossLog) != 0 {
+		t.Errorf("loss log %d on loopback", len(receiver.LossLog))
+	}
+	m := receiver.Measurements(sender.Measurements(2*time.Second, time.Millisecond).Tx, 2*time.Second, time.Millisecond)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelloPacketParses(t *testing.T) {
+	h, _, err := parseHeader(HelloPacket(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != typeHello || h.Conn != 9 {
+		t.Errorf("hello = %+v", h)
+	}
+}

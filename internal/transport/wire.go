@@ -1,0 +1,111 @@
+// Package transport implements a reliable, congestion-controlled transport
+// over real UDP sockets — the network stack of WeHeY's loopback testbed
+// (the stand-in for the paper's wide-area GCP testbed, §6.2).
+//
+// Replay servers send trace bytes through it; a middlebox (see
+// internal/testbed) drops and delays the datagrams with the same
+// classifier+TBF pipeline as the paper's tc-based rate limiter; and the
+// sender estimates packet loss from its own retransmission decisions,
+// exactly as WeHeY's servers do for TCP traffic (§3.4). The transport also
+// provides an unreliable datagram mode for UDP trace replays, where the
+// receiver detects loss from sequence gaps.
+//
+// The congestion controller mirrors internal/netsim's TCP model: Reno-style
+// AIMD with per-packet ACKs, a 3-packets-later loss inference, RFC
+// 6298-style RTO with go-back-N recovery, and pacing.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Packet types on the wire.
+const (
+	typeData    = 1 // reliable data segment (expects ACK)
+	typeAck     = 2 // acknowledgment echoing seq, stamp, rtx flag
+	typeFin     = 3 // end of transfer
+	typeFinAck  = 4
+	typeDgram   = 5 // unreliable datagram (UDP replay mode)
+	typeHello   = 6 // control-channel hello carrying flow metadata
+	maxWireType = typeHello
+)
+
+// header flags.
+const (
+	flagRetransmission = 1 << 0
+)
+
+const (
+	wireMagic  = 0x5759 // "WY"
+	headerSize = 2 + 1 + 1 + 4 + 8 + 8 + 2
+	// MaxPayload bounds a datagram's payload (headerSize + MaxPayload stays
+	// well under common MTUs; loopback allows much more).
+	MaxPayload = 1400
+)
+
+// ErrBadPacket reports an unparseable wire packet.
+var ErrBadPacket = errors.New("transport: bad packet")
+
+// HelloPacket builds the client's path-opening datagram: middleboxes and
+// NATs learn the client's address from it before any data flows.
+func HelloPacket(connID uint32) []byte {
+	h := header{Type: typeHello, Conn: connID}
+	return h.marshal(make([]byte, 0, headerSize))
+}
+
+// HeaderSize is the fixed wire-header length, exported for DPI-style
+// consumers that skip it when scanning payloads.
+const HeaderSize = headerSize
+
+// header is the fixed wire header:
+//
+//	magic u16 | type u8 | flags u8 | conn u32 | seq u64 | stamp i64 | len u16
+//
+// stamp is the sender's monotonic-ish nanosecond clock, echoed verbatim in
+// ACKs for RTT estimation (Karn-safe: retransmissions set a fresh stamp and
+// the flag suppresses sampling).
+type header struct {
+	Type  uint8
+	Flags uint8
+	Conn  uint32
+	Seq   uint64
+	Stamp int64
+	Len   uint16
+}
+
+func (h *header) marshal(buf []byte) []byte {
+	buf = buf[:0]
+	buf = binary.BigEndian.AppendUint16(buf, wireMagic)
+	buf = append(buf, h.Type, h.Flags)
+	buf = binary.BigEndian.AppendUint32(buf, h.Conn)
+	buf = binary.BigEndian.AppendUint64(buf, h.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Stamp))
+	buf = binary.BigEndian.AppendUint16(buf, h.Len)
+	return buf
+}
+
+func parseHeader(b []byte) (header, []byte, error) {
+	var h header
+	if len(b) < headerSize {
+		return h, nil, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if binary.BigEndian.Uint16(b) != wireMagic {
+		return h, nil, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	h.Type = b[2]
+	h.Flags = b[3]
+	h.Conn = binary.BigEndian.Uint32(b[4:])
+	h.Seq = binary.BigEndian.Uint64(b[8:])
+	h.Stamp = int64(binary.BigEndian.Uint64(b[16:]))
+	h.Len = binary.BigEndian.Uint16(b[24:])
+	if h.Type == 0 || h.Type > maxWireType {
+		return h, nil, fmt.Errorf("%w: type %d", ErrBadPacket, h.Type)
+	}
+	payload := b[headerSize:]
+	if int(h.Len) > len(payload) {
+		return h, nil, fmt.Errorf("%w: truncated payload (%d > %d)", ErrBadPacket, h.Len, len(payload))
+	}
+	return h, payload[:h.Len], nil
+}

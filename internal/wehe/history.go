@@ -1,0 +1,181 @@
+package wehe
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// TestRecord is one past WeHe test as stored in the public WeHe dataset:
+// which client ran it, against which app and carrier, when, and the mean
+// throughput its bit-inverted replay achieved. T_diff is derived from the
+// bit-inverted replays because they are unaffected by differentiation and
+// therefore reflect *normal* throughput variation (§4.1).
+type TestRecord struct {
+	Client   string    `json:"client"`
+	App      string    `json:"app"`
+	Carrier  string    `json:"carrier"`
+	At       time.Time `json:"at"`
+	InvMeanT float64   `json:"inverted_mean_throughput"` // bits/s
+}
+
+// History is a collection of past WeHe tests queryable for T_diff
+// distributions.
+type History struct {
+	records []TestRecord
+}
+
+// PairWindow is the maximum gap between two tests for them to form a
+// T_diff pair (§4.1: "performed less than 10 minutes apart").
+const PairWindow = 10 * time.Minute
+
+// NewHistory builds a history from records (copied).
+func NewHistory(records []TestRecord) *History {
+	h := &History{records: append([]TestRecord(nil), records...)}
+	sort.Slice(h.records, func(i, j int) bool { return h.records[i].At.Before(h.records[j].At) })
+	return h
+}
+
+// Len returns the number of records.
+func (h *History) Len() int { return len(h.records) }
+
+// TDiff computes the T_diff distribution for one (client, app, carrier):
+// for every pair of that client's tests less than PairWindow apart, the
+// relative difference of the two bit-inverted mean throughputs.
+// Empty selectors match everything (useful when a client has little
+// history and the distribution is pooled across clients).
+func (h *History) TDiff(client, app, carrier string) []float64 {
+	// Group matching records; records are already time-sorted.
+	type key struct{ c, a, r string }
+	groups := make(map[key][]TestRecord)
+	for _, rec := range h.records {
+		if client != "" && rec.Client != client {
+			continue
+		}
+		if app != "" && rec.App != app {
+			continue
+		}
+		if carrier != "" && rec.Carrier != carrier {
+			continue
+		}
+		k := key{rec.Client, rec.App, rec.Carrier}
+		groups[k] = append(groups[k], rec)
+	}
+	var out []float64
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				if g[j].At.Sub(g[i].At) >= PairWindow {
+					break // sorted: later records are even farther
+				}
+				t1, t2 := g[i].InvMeanT, g[j].InvMeanT
+				den := math.Max(t1, t2)
+				if den <= 0 {
+					continue
+				}
+				out = append(out, (t1-t2)/den)
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON streams the records as a JSON array.
+func (h *History) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h.records)
+}
+
+// ReadHistoryJSON loads records written by WriteJSON.
+func ReadHistoryJSON(r io.Reader) (*History, error) {
+	var records []TestRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, err
+	}
+	return NewHistory(records), nil
+}
+
+// SynthHistorySpec parameterizes SynthHistory.
+type SynthHistorySpec struct {
+	Clients        int      // number of clients (default 20)
+	Apps           []string // default {"netflix"}
+	Carriers       []string // default {"carrier-1"}
+	TestsPerClient int      // tests per (client, app, carrier) (default 12)
+	BaseThroughput float64  // bits/s (default 8e6)
+	Spread         float64  // relative test-to-test variation (default 0.1)
+	Start          time.Time
+}
+
+func (s *SynthHistorySpec) fill() {
+	if s.Clients <= 0 {
+		s.Clients = 20
+	}
+	if len(s.Apps) == 0 {
+		s.Apps = []string{"netflix"}
+	}
+	if len(s.Carriers) == 0 {
+		s.Carriers = []string{"carrier-1"}
+	}
+	if s.TestsPerClient <= 0 {
+		s.TestsPerClient = 12
+	}
+	if s.BaseThroughput <= 0 {
+		s.BaseThroughput = 8e6
+	}
+	if s.Spread <= 0 {
+		s.Spread = 0.1
+	}
+	if s.Start.IsZero() {
+		s.Start = time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// SynthHistory generates a synthetic WeHe test history standing in for the
+// public dataset at wehe-data.ccs.neu.edu: per client a base throughput
+// (clients differ by access technology), per test multiplicative noise, and
+// tests clustered in back-to-back sessions so that PairWindow pairs exist.
+func SynthHistory(rng *rand.Rand, spec SynthHistorySpec) *History {
+	spec.fill()
+	var records []TestRecord
+	for c := 0; c < spec.Clients; c++ {
+		clientBase := spec.BaseThroughput * (0.5 + rng.Float64())
+		client := clientName(c)
+		for _, app := range spec.Apps {
+			for _, carrier := range spec.Carriers {
+				at := spec.Start.Add(time.Duration(rng.Intn(86400)) * time.Second)
+				for n := 0; n < spec.TestsPerClient; n++ {
+					// Tests arrive in sessions: short gaps within a session
+					// (forming T_diff pairs), long gaps between sessions.
+					if n%3 == 0 && n > 0 {
+						at = at.Add(time.Duration(1+rng.Intn(48)) * time.Hour)
+					} else {
+						at = at.Add(time.Duration(30+rng.Intn(400)) * time.Second)
+					}
+					tput := clientBase * (1 + rng.NormFloat64()*spec.Spread)
+					if tput < 1e5 {
+						tput = 1e5
+					}
+					records = append(records, TestRecord{
+						Client: client, App: app, Carrier: carrier,
+						At: at, InvMeanT: tput,
+					})
+				}
+			}
+		}
+	}
+	return NewHistory(records)
+}
+
+func clientName(i int) string {
+	const hexdig = "0123456789abcdef"
+	b := make([]byte, 0, 10)
+	b = append(b, 'c', 'l', '-')
+	for sh := 24; sh >= 0; sh -= 4 {
+		b = append(b, hexdig[(i>>sh)&0xF])
+	}
+	return string(b)
+}

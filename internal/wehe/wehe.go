@@ -1,0 +1,80 @@
+// Package wehe implements the WeHe substrate WeHeY builds on (§2.1): the
+// differentiation detector that compares the throughput CDFs of an original
+// and a bit-inverted replay with a Kolmogorov-Smirnov test, and the
+// historical test database from which the T_diff "normal throughput
+// variation" distribution of §4.1 is derived.
+package wehe
+
+import (
+	"fmt"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/stats"
+)
+
+// DetectionConfig parameterizes WeHe's detector. Zero value = defaults.
+type DetectionConfig struct {
+	// Alpha is the KS significance level (default 0.05).
+	Alpha float64
+	// MinRelDiff additionally requires the replays' mean throughputs to
+	// differ by this relative margin (default 0.1), so that a statistically
+	// significant but practically negligible difference is not flagged.
+	// WeHe applies the same guard against noisy verdicts.
+	MinRelDiff float64
+}
+
+func (c *DetectionConfig) fill() {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.05
+	}
+	if c.MinRelDiff <= 0 {
+		c.MinRelDiff = 0.1
+	}
+}
+
+// Detection is WeHe's verdict on one (original, bit-inverted) replay pair.
+type Detection struct {
+	Differentiation bool
+	KS              stats.KSResult
+	OriginalMean    float64 // bits/s
+	InvertedMean    float64 // bits/s
+	RelDiff         float64 // |orig−inv| / max
+}
+
+// DetectDifferentiation runs WeHe's test: the client divides the replay
+// into 100 intervals, computes per-interval throughput for the original and
+// the bit-inverted replay, and compares the two CDFs with a KS test. A
+// significant difference means traffic differentiation somewhere on the
+// path.
+func DetectDifferentiation(orig, inv measure.Throughput, cfg DetectionConfig) (Detection, error) {
+	cfg.fill()
+	if len(orig.Samples) < 8 || len(inv.Samples) < 8 {
+		return Detection{}, fmt.Errorf("wehe: need ≥8 throughput samples, have %d/%d",
+			len(orig.Samples), len(inv.Samples))
+	}
+	ks, err := stats.KolmogorovSmirnov(orig.Samples, inv.Samples)
+	if err != nil {
+		return Detection{}, err
+	}
+	d := Detection{
+		KS:           ks,
+		OriginalMean: orig.Mean(),
+		InvertedMean: inv.Mean(),
+	}
+	maxMean := d.OriginalMean
+	if d.InvertedMean > maxMean {
+		maxMean = d.InvertedMean
+	}
+	if maxMean > 0 {
+		d.RelDiff = abs(d.OriginalMean-d.InvertedMean) / maxMean
+	}
+	d.Differentiation = ks.P < cfg.Alpha && d.RelDiff >= cfg.MinRelDiff
+	return d, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

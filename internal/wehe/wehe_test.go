@@ -1,0 +1,163 @@
+package wehe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+)
+
+func tput(samples []float64) measure.Throughput {
+	return measure.Throughput{Interval: 450 * time.Millisecond, Samples: samples}
+}
+
+func noisy(rng *rand.Rand, n int, mean, spread float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean * (1 + rng.NormFloat64()*spread)
+	}
+	return out
+}
+
+func TestDetectDifferentiationThrottledOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := tput(noisy(rng, 100, 2e6, 0.05)) // throttled at 2 Mbit/s
+	inv := tput(noisy(rng, 100, 8e6, 0.05))  // unthrottled
+	d, err := DetectDifferentiation(orig, inv, DetectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Differentiation {
+		t.Errorf("clear throttling not detected: %+v", d)
+	}
+	if d.RelDiff < 0.5 {
+		t.Errorf("RelDiff = %v, want ≈0.75", d.RelDiff)
+	}
+}
+
+func TestDetectDifferentiationNeutralPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	falsePositives := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		orig := tput(noisy(rng, 100, 8e6, 0.08))
+		inv := tput(noisy(rng, 100, 8e6, 0.08))
+		d, err := DetectDifferentiation(orig, inv, DetectionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Differentiation {
+			falsePositives++
+		}
+	}
+	if rate := float64(falsePositives) / trials; rate > 0.08 {
+		t.Errorf("neutral-path detection rate = %v, want ≲0.05", rate)
+	}
+}
+
+func TestDetectDifferentiationGuardsAgainstTinyDiffs(t *testing.T) {
+	// Statistically different but practically identical (2% shift over many
+	// samples): the MinRelDiff guard must suppress it.
+	n := 5000
+	orig := make([]float64, n)
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		orig[i] = 8e6 + float64(i%100)*1e3
+		inv[i] = 8.16e6 + float64(i%100)*1e3
+	}
+	d, err := DetectDifferentiation(tput(orig), tput(inv), DetectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Differentiation {
+		t.Errorf("2%% shift flagged as differentiation (KS p=%v, relDiff=%v)", d.KS.P, d.RelDiff)
+	}
+}
+
+func TestDetectDifferentiationTooFewSamples(t *testing.T) {
+	if _, err := DetectDifferentiation(tput([]float64{1, 2}), tput([]float64{1, 2}), DetectionConfig{}); err == nil {
+		t.Error("tiny inputs accepted")
+	}
+}
+
+func TestHistoryTDiffPairing(t *testing.T) {
+	base := time.Date(2023, 4, 1, 12, 0, 0, 0, time.UTC)
+	records := []TestRecord{
+		{Client: "a", App: "netflix", Carrier: "x", At: base, InvMeanT: 10e6},
+		{Client: "a", App: "netflix", Carrier: "x", At: base.Add(5 * time.Minute), InvMeanT: 8e6},
+		{Client: "a", App: "netflix", Carrier: "x", At: base.Add(30 * time.Minute), InvMeanT: 9e6}, // too far from both
+		{Client: "b", App: "netflix", Carrier: "x", At: base.Add(2 * time.Minute), InvMeanT: 5e6},  // different client
+		{Client: "a", App: "zoom", Carrier: "x", At: base.Add(time.Minute), InvMeanT: 4e6},         // different app
+	}
+	h := NewHistory(records)
+	td := h.TDiff("a", "netflix", "x")
+	if len(td) != 1 {
+		t.Fatalf("TDiff pairs = %d, want 1 (%v)", len(td), td)
+	}
+	// (10e6 − 8e6)/10e6 = 0.2.
+	if td[0] != 0.2 {
+		t.Errorf("tdiff = %v, want 0.2", td[0])
+	}
+	// Pooled query (empty selectors) still groups per client/app/carrier:
+	// no cross-client pairs appear.
+	pooled := h.TDiff("", "", "")
+	if len(pooled) != 1 {
+		t.Errorf("pooled pairs = %d, want 1", len(pooled))
+	}
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := SynthHistory(rng, SynthHistorySpec{Clients: 3, TestsPerClient: 6})
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHistoryJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != h.Len() {
+		t.Errorf("round trip: %d vs %d records", h2.Len(), h.Len())
+	}
+	if _, err := ReadHistoryJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestSynthHistoryProducesUsableTDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := SynthHistory(rng, SynthHistorySpec{Clients: 20, TestsPerClient: 12})
+	td := h.TDiff("", "netflix", "carrier-1")
+	if len(td) < 40 {
+		t.Fatalf("only %d T_diff pairs; the synthetic sessions should yield plenty", len(td))
+	}
+	// Typical relative variation should be moderate (|t| mostly < 0.5).
+	big := 0
+	for _, v := range td {
+		if v > 1 || v < -1 {
+			t.Fatalf("tdiff %v outside [-1, 1]", v)
+		}
+		if abs(v) > 0.5 {
+			big++
+		}
+	}
+	if float64(big)/float64(len(td)) > 0.2 {
+		t.Errorf("too many extreme variations: %d/%d", big, len(td))
+	}
+}
+
+func TestSynthHistoryDeterminism(t *testing.T) {
+	a := SynthHistory(rand.New(rand.NewSource(5)), SynthHistorySpec{Clients: 2})
+	b := SynthHistory(rand.New(rand.NewSource(5)), SynthHistorySpec{Clients: 2})
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a.records {
+		if a.records[i] != b.records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package wehey
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/core"
+	"github.com/nal-epfl/wehey/internal/isp"
+	"github.com/nal-epfl/wehey/internal/topology"
+	"github.com/nal-epfl/wehey/internal/wehe"
+)
+
+func testLocalizer(rng *rand.Rand) *Localizer {
+	return &Localizer{
+		Rand:    rng,
+		History: wehe.SynthHistory(rng, wehe.SynthHistorySpec{Clients: 15, TestsPerClient: 9, Spread: 0.15}),
+	}
+}
+
+func TestLocalizePerClientThrottling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := testLocalizer(rng)
+	tdiff := l.TDiff("", "netflix", "carrier-1")
+	session := NewSimSession(rng, isp.FiveISPs()[0], 20*time.Second)
+	v, err := l.Localize(session, tdiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.WeHeDetected {
+		t.Fatal("WeHe missed clear differentiation")
+	}
+	if !v.Confirmed {
+		t.Fatal("differentiation not confirmed on both paths")
+	}
+	if !v.LocalizedToISP {
+		t.Fatalf("not localized: %s", v)
+	}
+	if v.Evidence != core.EvidencePerClient {
+		t.Errorf("evidence = %v, want per-client", v.Evidence)
+	}
+	if v.String() == "" {
+		t.Error("empty verdict string")
+	}
+}
+
+func TestLocalizeCollectiveThrottling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := testLocalizer(rng)
+	tdiff := l.TDiff("", "netflix", "carrier-1")
+	session := NewCollectiveSimSession(rng, CollectiveConfig{
+		InputFactor: 1.5,
+		Duration:    30 * time.Second,
+	})
+	v, err := l.Localize(session, tdiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.WeHeDetected {
+		t.Fatal("WeHe missed collective throttling")
+	}
+	if !v.LocalizedToISP {
+		t.Fatalf("not localized: %s", v)
+	}
+	if v.Evidence != core.EvidenceShared {
+		t.Errorf("evidence = %v, want shared (loss-trend correlation)", v.Evidence)
+	}
+}
+
+func TestLocalizeNeutralNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := testLocalizer(rng)
+	// A profile whose "plan rate" never binds (plan ≥ app rate): WeHe must
+	// find nothing and localization must stop after phase 1.
+	p := isp.Profile{
+		Name: "neutral", PlanRate: 50e6, RTT: 40 * time.Millisecond,
+		UnthrottledRate: 8e6, LinkRate: 60e6,
+	}
+	session := NewSimSession(rng, p, 15*time.Second)
+	v, err := l.Localize(session, l.TDiff("", "netflix", "carrier-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.WeHeDetected {
+		t.Error("WeHe detected differentiation on a neutral network")
+	}
+	if v.LocalizedToISP {
+		t.Error("localized on a neutral network")
+	}
+}
+
+func TestLocalizerServers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := topology.Synthesize(rng, topology.SynthSpec{ISPs: 4, ClientsPerISP: 10})
+	kept, _ := topology.AnnotateAll(net.Raws, net.Annotations)
+	db := topology.Construct(kept)
+	l := &Localizer{Rand: rng, TopologyDB: db}
+
+	// Find a client with a suitable topology.
+	found := false
+	for _, c := range net.Clients {
+		if pair, err := l.Servers(c.IP); err == nil {
+			found = true
+			if pair.Server1 == pair.Server2 || pair.Server1 == "" {
+				t.Fatalf("degenerate pair %+v", pair)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no client had a suitable topology")
+	}
+	if _, err := l.Servers("203.0.113.99"); err == nil {
+		t.Error("unknown client resolved")
+	}
+	noDB := &Localizer{Rand: rng}
+	if _, err := noDB.Servers("100.64.0.1"); err == nil {
+		t.Error("nil DB resolved")
+	}
+}
+
+func TestLocalizerRequiresRand(t *testing.T) {
+	l := &Localizer{}
+	if _, err := l.Localize(nil, nil); err == nil {
+		t.Error("nil Rand accepted")
+	}
+}
+
+func TestLocalizeWithoutTDiffFallsBackToLossTrend(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := &Localizer{Rand: rng}
+	session := NewCollectiveSimSession(rng, CollectiveConfig{Duration: 30 * time.Second})
+	v, err := l.Localize(session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Detail.Throughput != nil {
+		t.Error("throughput comparison ran without T_diff")
+	}
+	if !v.LocalizedToISP || v.Evidence != core.EvidenceShared {
+		t.Errorf("loss-trend fallback failed: %s", v)
+	}
+}
+
+// verifyingSession wraps a ReplaySession with a canned topology verdict.
+type verifyingSession struct {
+	ReplaySession
+	suitable bool
+	err      error
+}
+
+func (s *verifyingSession) VerifyTopology() (bool, error) { return s.suitable, s.err }
+
+func TestLocalizeTopologyVerification(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := testLocalizer(rng)
+	tdiff := l.TDiff("", "netflix", "carrier-1")
+	base := NewSimSession(rng, isp.FiveISPs()[0], 15*time.Second)
+
+	// A route change mid-test discards the measurements.
+	_, err := l.Localize(&verifyingSession{ReplaySession: base, suitable: false}, tdiff)
+	if err != ErrTopologyChanged {
+		t.Errorf("err = %v, want ErrTopologyChanged", err)
+	}
+
+	// A still-suitable topology proceeds to a verdict.
+	v, err := l.Localize(&verifyingSession{ReplaySession: base, suitable: true}, tdiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.LocalizedToISP {
+		t.Errorf("verified session should localize: %s", v)
+	}
+
+	// Verification errors propagate.
+	if _, err := l.Localize(&verifyingSession{ReplaySession: base, err: ErrNoTopology}, tdiff); err == nil {
+		t.Error("verification error swallowed")
+	}
+}
+
+func TestLocalizeCollectiveUDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l := testLocalizer(rng)
+	session := NewCollectiveSimSession(rng, CollectiveConfig{
+		App:      "zoom",
+		Duration: 30 * time.Second,
+	})
+	v, err := l.Localize(session, l.TDiff("", "netflix", "carrier-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.WeHeDetected {
+		t.Fatal("WeHe missed UDP collective throttling")
+	}
+	if !v.LocalizedToISP || v.Evidence != core.EvidenceShared {
+		t.Fatalf("UDP collective not localized: %s", v)
+	}
+}
