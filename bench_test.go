@@ -10,6 +10,7 @@ package wehey
 // Run: go test -bench=. -benchmem
 
 import (
+	"flag"
 	"io"
 	"strconv"
 	"strings"
@@ -19,10 +20,15 @@ import (
 	"github.com/nal-epfl/wehey/internal/experiments"
 )
 
+// benchWorkers widens the experiment worker pool, e.g.
+// go test -bench=. -workers=8. The reported result metrics are identical
+// for any width; only the wall clock changes.
+var benchWorkers = flag.Int("workers", 0, "experiment worker-pool width (0 = GOMAXPROCS)")
+
 // benchCfg keeps iterations fast; the generators default their own trial
 // counts from this.
 func benchCfg() experiments.Config {
-	return experiments.Config{Trials: 2, Seed: 1}
+	return experiments.Config{Trials: 2, Seed: 1, Workers: *benchWorkers}
 }
 
 // parsePct extracts a numeric percentage like "89.8%" from a table cell.

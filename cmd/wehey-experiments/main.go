@@ -6,6 +6,11 @@
 //	wehey-experiments -list
 //	wehey-experiments -run table1,figure6 -trials 5
 //	wehey-experiments -run all -full        # paper-scale (slow)
+//	wehey-experiments -run figure6 -workers 8
+//
+// -workers fans the simulation runs of one experiment out over a worker
+// pool (default: GOMAXPROCS). Seeds derive from each run's identity, not
+// execution order, so the output is byte-identical for every width.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		full     = flag.Bool("full", false, "paper-scale trial counts (slow)")
 		duration = flag.Duration("duration", 0, "replay duration override (0 = per-experiment default)")
+		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -41,6 +47,7 @@ func main() {
 		Seed:     *seed,
 		Full:     *full,
 		Duration: *duration,
+		Workers:  *workers,
 	}
 
 	start := time.Now()

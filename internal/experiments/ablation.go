@@ -17,7 +17,7 @@ import (
 // would show nothing.
 func ablationRuns(cfg Config) (fnRuns, fpRuns []SimResult) {
 	trials := cfg.trials(2, 6)
-	seed := cfg.Seed + 9000
+	var fnSpecs, fpSpecs []SimSpec
 	for _, f := range []float64{1.5, 2.5, 4} {
 		for _, share := range []float64{0.5, 0.75} {
 			for i := 0; i < trials; i++ {
@@ -26,19 +26,19 @@ func ablationRuns(cfg Config) (fnRuns, fpRuns []SimResult) {
 					RTT1: 25 * time.Millisecond, RTT2: 60 * time.Millisecond,
 					Duration: cfg.Duration,
 				}
-				seed++
+				cell := fmt.Sprintf("f=%g/share=%g", f, share)
 				fn := base
-				fn.Seed = seed
-				fnRuns = append(fnRuns, RunSim(fn))
-				seed++
+				fn.Seed = specSeed(cfg.Seed, "ablation/fn", cell, i)
+				fnSpecs = append(fnSpecs, fn)
 				fp := base
 				fp.Placement = LimiterNonCommon
-				fp.Seed = seed
-				fpRuns = append(fpRuns, RunSim(fp))
+				fp.Seed = specSeed(cfg.Seed, "ablation/fp", cell, i)
+				fpSpecs = append(fpSpecs, fp)
 			}
 		}
 	}
-	return fnRuns, fpRuns
+	all := RunGrid(append(append([]SimSpec(nil), fnSpecs...), fpSpecs...), cfg.workers())
+	return all[:len(fnSpecs)], all[len(fnSpecs):]
 }
 
 func countVerdicts(runs []SimResult, cfg core.LossTrendConfig) (positives int) {
@@ -182,39 +182,51 @@ func AblationMWU(cfg Config) *Report {
 		{"Kolmogorov-Smirnov", core.KSTest},
 		{"Welch t", core.WelchTest},
 	}
-	tally := make([]counts, len(variants))
-	for i := 0; i < trials; i++ {
-		trig := p.DrawTrigger(rng)
-		single := p.Replays(rng.Int63(), dur, trig, 1, true)
-		sim := p.Replays(rng.Int63(), dur, trig, 2, true)
-		sim3 := p.Replays(rng.Int63(), dur, trig, 3, true)
+	perTrial := ForEach(trials, cfg.workers(), func(i int) []counts {
+		trng := rand.New(rand.NewSource(specSeed(cfg.Seed, "ablation-mwu", "trial", i)))
+		trig := p.DrawTrigger(trng)
+		single := p.Replays(trng.Int63(), dur, trig, 1, true)
+		sim := p.Replays(trng.Int63(), dur, trig, 2, true)
+		sim3 := p.Replays(trng.Int63(), dur, trig, 3, true)
 		x := single[0].Throughput.Samples
 		y := measure.SumSamples(sim[0].Throughput.Samples, sim[1].Throughput.Samples)
 		ySanity := measure.SumSamples(sim3[0].Throughput.Samples, sim3[1].Throughput.Samples)
-		dirty := contaminate(tdiff, rng)
+		dirty := contaminate(tdiff, trng)
+		tally := make([]counts, len(variants))
 		for vi, v := range variants {
 			c := core.ThroughputCmpConfig{Test: v.test}
-			if res, err := core.ThroughputComparison(rng, x, y, tdiff, c); err == nil {
+			if res, err := core.ThroughputComparison(trng, x, y, tdiff, c); err == nil {
 				tally[vi].runs++
 				if !res.CommonBottleneck {
 					tally[vi].fn++
 				}
 			}
-			if res, err := core.ThroughputComparison(rng, x, ySanity, tdiff, c); err == nil {
+			if res, err := core.ThroughputComparison(trng, x, ySanity, tdiff, c); err == nil {
 				if res.CommonBottleneck {
 					tally[vi].fp++
 				}
 			}
-			if res, err := core.ThroughputComparison(rng, x, y, dirty, c); err == nil {
+			if res, err := core.ThroughputComparison(trng, x, y, dirty, c); err == nil {
 				if !res.CommonBottleneck {
 					tally[vi].fnDirty++
 				}
 			}
-			if res, err := core.ThroughputComparison(rng, x, ySanity, dirty, c); err == nil {
+			if res, err := core.ThroughputComparison(trng, x, ySanity, dirty, c); err == nil {
 				if res.CommonBottleneck {
 					tally[vi].fpDirty++
 				}
 			}
+		}
+		return tally
+	})
+	tally := make([]counts, len(variants))
+	for _, tt := range perTrial {
+		for vi := range tally {
+			tally[vi].fn += tt[vi].fn
+			tally[vi].fp += tt[vi].fp
+			tally[vi].fnDirty += tt[vi].fnDirty
+			tally[vi].fpDirty += tt[vi].fpDirty
+			tally[vi].runs += tt[vi].runs
 		}
 	}
 	rows := [][]string{}
@@ -244,8 +256,7 @@ func AblationPacing(cfg Config) *Report {
 	cfg.fill()
 	trials := cfg.trials(3, 12)
 	rows := [][]string{}
-	seed := cfg.Seed + 9700
-	for _, v := range []struct {
+	variants := []struct {
 		app      string
 		modified bool
 		label    string
@@ -254,21 +265,30 @@ func AblationPacing(cfg Config) *Report {
 		{TCPBulkApp, false, "TCP unpaced"},
 		{"zoom", true, "UDP Poisson (paper)"},
 		{"zoom", false, "UDP recorded timing"},
-	} {
-		fn, runs := 0, 0
+	}
+	var specs []SimSpec
+	for _, v := range variants {
 		for i := 0; i < trials; i++ {
-			seed++
-			res := RunSim(SimSpec{
+			specs = append(specs, SimSpec{
 				App: v.app, InputFactor: 1.5, BgShare: 0.5,
-				Unmodified: !v.modified, Duration: cfg.Duration, Seed: seed,
+				Unmodified: !v.modified, Duration: cfg.Duration,
+				Seed: specSeed(cfg.Seed, "ablation-pacing", v.label, i),
 			})
-			runs++
-			lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
-			if err != nil || !lt.CommonBottleneck {
+		}
+	}
+	fnFlags := ForEach(len(specs), cfg.workers(), func(i int) bool {
+		res := RunSim(specs[i])
+		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
+		return err != nil || !lt.CommonBottleneck
+	})
+	for vi, v := range variants {
+		fn := 0
+		for _, miss := range fnFlags[vi*trials : (vi+1)*trials] {
+			if miss {
 				fn++
 			}
 		}
-		rows = append(rows, []string{v.label, pct(fn, runs)})
+		rows = append(rows, []string{v.label, pct(fn, trials)})
 	}
 	return &Report{
 		ID:     "ablation-pacing",

@@ -91,18 +91,29 @@ func ExtensionPerFlow(cfg Config) *Report {
 		{name: "per-flow policer, merged replays (§7)", merged: true, placement: LimiterCommon},
 		{name: "independent per-flow policers, merged (FP control)", merged: true, placement: LimiterNonCommon},
 	}
-	seed := cfg.Seed + 8000
-	for _, r := range rows {
-		for i := 0; i < trials; i++ {
-			seed++
-			m1, m2, d1, d2 := perFlowRun(seed, r.merged, r.placement, dur)
-			r.runs++
-			if lt, err := core.LossTrendCorrelation(&m1, &m2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
-				r.lossTrend++
-			}
-			if sf, err := core.SharedFateThroughput(d1, d2, dur, 42*time.Millisecond, core.SharedFateConfig{}); err == nil && sf.SharedBottleneck {
-				r.sharedFat++
-			}
+	type verdict struct{ lossTrend, sharedFate bool }
+	verdicts := ForEach(len(rows)*trials, cfg.workers(), func(idx int) verdict {
+		r := rows[idx/trials]
+		i := idx % trials
+		seed := specSeed(cfg.Seed, "extension-perflow", r.name, i)
+		m1, m2, d1, d2 := perFlowRun(seed, r.merged, r.placement, dur)
+		var v verdict
+		if lt, err := core.LossTrendCorrelation(&m1, &m2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
+			v.lossTrend = true
+		}
+		if sf, err := core.SharedFateThroughput(d1, d2, dur, 42*time.Millisecond, core.SharedFateConfig{}); err == nil && sf.SharedBottleneck {
+			v.sharedFate = true
+		}
+		return v
+	})
+	for idx, v := range verdicts {
+		r := rows[idx/trials]
+		r.runs++
+		if v.lossTrend {
+			r.lossTrend++
+		}
+		if v.sharedFate {
+			r.sharedFat++
 		}
 	}
 

@@ -32,11 +32,10 @@ func ExtensionBBR(cfg Config) *Report {
 		{name: "Reno replays, independent limiters (FP scenario)", bbr: false, placement: LimiterNonCommon},
 		{name: "BBR replays, independent limiters (FP scenario)", bbr: true, placement: LimiterNonCommon},
 	}
-	seed := cfg.Seed + 8500
+	var specs []SimSpec
 	for _, r := range rows {
 		for i := 0; i < trials; i++ {
-			seed++
-			res := RunSim(SimSpec{
+			specs = append(specs, SimSpec{
 				App:         TCPBulkApp,
 				InputFactor: 1.5,
 				BgShare:     0.5,
@@ -45,13 +44,28 @@ func ExtensionBBR(cfg Config) *Report {
 				Placement:   r.placement,
 				BBR:         r.bbr,
 				Duration:    cfg.Duration,
-				Seed:        seed,
+				Seed:        specSeed(cfg.Seed, "extension-bbr", r.name, i),
 			})
-			r.runs++
-			r.lossSum += (res.M1.LossRate() + res.M2.LossRate()) / 2
-			if lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
-				r.detects++
-			}
+		}
+	}
+	type verdict struct {
+		loss    float64
+		detects bool
+	}
+	verdicts := ForEach(len(specs), cfg.workers(), func(i int) verdict {
+		res := RunSim(specs[i])
+		v := verdict{loss: (res.M1.LossRate() + res.M2.LossRate()) / 2}
+		if lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
+			v.detects = true
+		}
+		return v
+	})
+	for idx, v := range verdicts {
+		r := rows[idx/trials]
+		r.runs++
+		r.lossSum += v.loss
+		if v.detects {
+			r.detects++
 		}
 	}
 

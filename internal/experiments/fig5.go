@@ -27,21 +27,23 @@ func Figure5(cfg Config) *Report {
 	}
 
 	// Emulation: the §6.2 TCP grid.
-	var emuRetrans, emuDelay []float64
-	seed := cfg.Seed + 2000
+	var specs []SimSpec
 	for _, f := range factors {
 		for _, q := range queues {
 			for s := 0; s < seeds; s++ {
-				seed++
-				res := RunSim(SimSpec{
+				specs = append(specs, SimSpec{
 					App: TCPBulkApp, InputFactor: f, QueueFactor: q, BgShare: 0.5,
 					RTT1: 35 * time.Millisecond, RTT2: 35 * time.Millisecond,
-					Duration: cfg.Duration, Seed: seed,
+					Duration: cfg.Duration,
+					Seed:     specSeed(cfg.Seed, "figure5", fmt.Sprintf("f=%g/q=%g", f, q), s),
 				})
-				emuRetrans = append(emuRetrans, (res.RetransRate[0]+res.RetransRate[1])/2*100)
-				emuDelay = append(emuDelay, float64(res.QueueDelay[0]+res.QueueDelay[1])/2/float64(time.Millisecond))
 			}
 		}
+	}
+	var emuRetrans, emuDelay []float64
+	for _, res := range RunGrid(specs, cfg.workers()) {
+		emuRetrans = append(emuRetrans, (res.RetransRate[0]+res.RetransRate[1])/2*100)
+		emuDelay = append(emuDelay, float64(res.QueueDelay[0]+res.QueueDelay[1])/2/float64(time.Millisecond))
 	}
 
 	// "Past WeHe tests": original single replays against the ISP profiles.

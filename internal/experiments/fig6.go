@@ -41,18 +41,15 @@ func Figure6(cfg Config) *Report {
 		return app + "/" + m
 	}
 
-	seed := cfg.Seed
-	total := 0
+	var specs []SimSpec
+	var keys []string
 	for _, app := range g.AllApps() {
 		for _, modified := range []bool{true, false} {
-			c := &cell{}
-			results[key(app, modified)] = c
+			results[key(app, modified)] = &cell{}
 			for _, f := range factors {
 				for _, q := range queues {
 					for s := 0; s < seeds; s++ {
-						seed++
-						total++
-						res := RunSim(SimSpec{
+						specs = append(specs, SimSpec{
 							App:         app,
 							InputFactor: f,
 							QueueFactor: q,
@@ -65,24 +62,44 @@ func Figure6(cfg Config) *Report {
 							RTT2:       60 * time.Millisecond,
 							Duration:   cfg.Duration,
 							Unmodified: !modified,
-							Seed:       seed,
+							Seed:       specSeed(cfg.Seed, "figure6", fmt.Sprintf("%s/f=%g/q=%g", key(app, modified), f, q), s),
 						})
-						// §6.2 exclusion: insignificant throttling (the
-						// replay barely lost anything → WeHe would not have
-						// flagged differentiation).
-						if res.M1.LossRate() < 0.005 && res.M2.LossRate() < 0.005 {
-							c.excluded++
-							continue
-						}
-						c.runs++
-						if lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{}); err != nil || !lt.CommonBottleneck {
-							c.fnTrend++
-						}
-						if !tomo.BinLossTomoNoParams(&res.M1, &res.M2, tomo.NoParamsConfig{}).CommonBottleneck {
-							c.fnClassic++
-						}
+						keys = append(keys, key(app, modified))
 					}
 				}
+			}
+		}
+	}
+	type verdict struct{ excluded, fnTrend, fnClassic bool }
+	verdicts := ForEach(len(specs), cfg.workers(), func(i int) verdict {
+		res := RunSim(specs[i])
+		// §6.2 exclusion: insignificant throttling (the replay barely lost
+		// anything → WeHe would not have flagged differentiation).
+		if res.M1.LossRate() < 0.005 && res.M2.LossRate() < 0.005 {
+			return verdict{excluded: true}
+		}
+		var v verdict
+		if lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{}); err != nil || !lt.CommonBottleneck {
+			v.fnTrend = true
+		}
+		if !tomo.BinLossTomoNoParams(&res.M1, &res.M2, tomo.NoParamsConfig{}).CommonBottleneck {
+			v.fnClassic = true
+		}
+		return v
+	})
+	total := len(specs)
+	for i, v := range verdicts {
+		c := results[keys[i]]
+		switch {
+		case v.excluded:
+			c.excluded++
+		default:
+			c.runs++
+			if v.fnTrend {
+				c.fnTrend++
+			}
+			if v.fnClassic {
+				c.fnClassic++
 			}
 		}
 	}

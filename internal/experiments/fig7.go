@@ -27,31 +27,42 @@ func Figure7(cfg Config) *Report {
 		delay   time.Duration
 		fn      bool
 	}
-	var points []point
-	seed := cfg.Seed + 7000
+	var specs []SimSpec
 	for _, f := range factors {
 		for _, share := range shares {
 			for s := 0; s < seeds; s++ {
-				seed++
-				res := RunSim(SimSpec{
+				specs = append(specs, SimSpec{
 					App:         TCPBulkApp,
 					InputFactor: f,
 					BgShare:     share,
 					RTT1:        35 * time.Millisecond,
 					RTT2:        35 * time.Millisecond,
 					Duration:    cfg.Duration,
-					Seed:        seed,
-				})
-				lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
-				if err != nil {
-					continue
-				}
-				points = append(points, point{
-					retrans: (res.RetransRate[0] + res.RetransRate[1]) / 2,
-					delay:   (res.QueueDelay[0] + res.QueueDelay[1]) / 2,
-					fn:      !lt.CommonBottleneck,
+					Seed:        specSeed(cfg.Seed, "figure7", fmt.Sprintf("f=%g/share=%g", f, share), s),
 				})
 			}
+		}
+	}
+	type outcome struct {
+		p  point
+		ok bool
+	}
+	outcomes := ForEach(len(specs), cfg.workers(), func(i int) outcome {
+		res := RunSim(specs[i])
+		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
+		if err != nil {
+			return outcome{}
+		}
+		return outcome{ok: true, p: point{
+			retrans: (res.RetransRate[0] + res.RetransRate[1]) / 2,
+			delay:   (res.QueueDelay[0] + res.QueueDelay[1]) / 2,
+			fn:      !lt.CommonBottleneck,
+		}}
+	})
+	var points []point
+	for _, o := range outcomes {
+		if o.ok {
+			points = append(points, o.p)
 		}
 	}
 

@@ -164,6 +164,9 @@ type Config struct {
 	Duration time.Duration
 	// Full selects paper-scale trial counts.
 	Full bool
+	// Workers is the simulation worker-pool width (0 = GOMAXPROCS). Any
+	// value produces byte-identical reports; see runner.go.
+	Workers int
 }
 
 func (c *Config) fill() {

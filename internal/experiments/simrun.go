@@ -114,7 +114,6 @@ type SimResult struct {
 // the measurements Alg. 1 and the tomography baselines consume.
 func RunSim(spec SimSpec) SimResult {
 	spec.fill()
-	rng := rand.New(rand.NewSource(spec.Seed))
 	var eng netsim.Engine
 
 	maxRTT := spec.RTT1
@@ -289,6 +288,5 @@ func RunSim(spec SimSpec) SimResult {
 		res.M1, res.M2 = ms[0], ms[1]
 	}
 	res.Drops = sc.DropLog
-	_ = rng
 	return res
 }

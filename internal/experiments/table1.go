@@ -43,10 +43,16 @@ func Table1(cfg Config) *Report {
 		sanityTrials = 3
 	}
 	for _, p := range profiles {
+		p := p
 		header = append(header, p.Name)
+		// Each trial runs on its own identity-derived rng, so trials are
+		// independent of one another and safe to execute concurrently.
+		basic := ForEach(trials, cfg.workers(), func(i int) isp.TestResult {
+			trng := rand.New(rand.NewSource(specSeed(cfg.Seed, "table1", p.Name, i)))
+			return isp.RunLocalizationTest(trng, p, tdiff, isp.TestOptions{Duration: dur})
+		})
 		localized, detected := 0, 0
-		for i := 0; i < trials; i++ {
-			res := isp.RunLocalizationTest(rng, p, tdiff, isp.TestOptions{Duration: dur})
+		for _, res := range basic {
 			if res.WeHeDetected {
 				detected++
 			}
@@ -57,10 +63,14 @@ func Table1(cfg Config) *Report {
 		rateRow = append(rateRow, pct(localized, trials))
 		weheRow = append(weheRow, pct(detected, trials))
 
+		sanityHits := ForEach(sanityTrials, cfg.workers(), func(i int) bool {
+			trng := rand.New(rand.NewSource(specSeed(cfg.Seed, "table1", p.Name+"/sanity", i)))
+			res := isp.RunLocalizationTest(trng, p, tdiff, isp.TestOptions{Duration: dur, ExtraReplay: true})
+			return res.Evidence.Found()
+		})
 		falsePos := 0
-		for i := 0; i < sanityTrials; i++ {
-			res := isp.RunLocalizationTest(rng, p, tdiff, isp.TestOptions{Duration: dur, ExtraReplay: true})
-			if res.Evidence.Found() {
+		for _, hit := range sanityHits {
+			if hit {
 				falsePos++
 			}
 		}

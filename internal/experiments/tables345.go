@@ -7,29 +7,47 @@ import (
 	"github.com/nal-epfl/wehey/internal/core"
 )
 
-// fnCell runs the severe-throttling parameter mix of §6.3 (input factors ×
-// background shares) with the given overrides, seeds times each, and
-// returns the loss-trend FN count. Tables 3 and 4 both build on this mix
-// ("we set the experimental parameters as in §6.2, except ...").
-func fnCell(base SimSpec, seed int64, seeds int) (fn, runs int) {
+// fnCellSpecs expands base into the severe-throttling parameter mix of
+// §6.3 (input factors × background shares, trials each), seeding every run
+// from its (experiment, cell, factor, share, trial) identity. Tables 3 and
+// 4 both build on this mix ("we set the experimental parameters as in
+// §6.2, except ...").
+func fnCellSpecs(base SimSpec, baseSeed int64, experimentID, cellKey string, trials int) []SimSpec {
+	var specs []SimSpec
 	for _, f := range []float64{1.5, 2.5} {
 		for _, share := range []float64{0.5, 0.75} {
-			for k := 0; k < seeds; k++ {
+			for k := 0; k < trials; k++ {
 				spec := base
 				spec.InputFactor = f
 				spec.BgShare = share
-				seed++
-				spec.Seed = seed
-				res := RunSim(spec)
-				runs++
-				lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
-				if err != nil || !lt.CommonBottleneck {
-					fn++
-				}
+				spec.Seed = specSeed(baseSeed, experimentID, fmt.Sprintf("%s/f=%g/share=%g", cellKey, f, share), k)
+				specs = append(specs, spec)
 			}
 		}
 	}
-	return fn, runs
+	return specs
+}
+
+// fnCounts fans specs out over the worker pool and returns the loss-trend
+// FN count of each consecutive block of cellRuns specs (one block per
+// table cell), in block order.
+func fnCounts(cfg Config, specs []SimSpec, cellRuns int) []int {
+	flags := ForEach(len(specs), cfg.workers(), func(i int) bool {
+		res := RunSim(specs[i])
+		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
+		return err != nil || !lt.CommonBottleneck
+	})
+	fns := make([]int, 0, len(specs)/cellRuns)
+	for start := 0; start < len(flags); start += cellRuns {
+		fn := 0
+		for _, miss := range flags[start : start+cellRuns] {
+			if miss {
+				fn++
+			}
+		}
+		fns = append(fns, fn)
+	}
+	return fns
 }
 
 // Table3 reproduces the RTT limit study: RTT1 = 35 ms, RTT2 swept from
@@ -47,7 +65,8 @@ func Table3(cfg Config) *Report {
 	header := []string{"pair"}
 	tcpRow := []string{"TCP - FN"}
 	udpRow := []string{"UDP - FN"}
-	seed := cfg.Seed + 3000
+	cellRuns := 4 * trials
+	var specs []SimSpec
 	for _, rtt2 := range rtts {
 		header = append(header, fms(rtt2))
 		base := SimSpec{
@@ -55,14 +74,16 @@ func Table3(cfg Config) *Report {
 			Duration: cfg.Duration,
 		}
 		base.App = TCPBulkApp
-		fn, runs := fnCell(base, seed, trials)
-		tcpRow = append(tcpRow, pct(fn, runs))
-		seed += int64(4 * trials)
-
+		specs = append(specs, fnCellSpecs(base, cfg.Seed, "table3", "tcp/rtt2="+fms(rtt2), trials)...)
 		base.App = "zoom"
-		fn, runs = fnCell(base, seed, trials)
-		udpRow = append(udpRow, pct(fn, runs))
-		seed += int64(4 * trials)
+		specs = append(specs, fnCellSpecs(base, cfg.Seed, "table3", "udp/rtt2="+fms(rtt2), trials)...)
+	}
+	for i, fn := range fnCounts(cfg, specs, cellRuns) {
+		if i%2 == 0 {
+			tcpRow = append(tcpRow, pct(fn, cellRuns))
+		} else {
+			udpRow = append(udpRow, pct(fn, cellRuns))
+		}
 	}
 
 	return &Report{
@@ -88,7 +109,8 @@ func Table4(cfg Config) *Report {
 	header := []string{"pair"}
 	udpRow := []string{"UDP - FN"}
 	tcpRow := []string{"TCP - FN"}
-	seed := cfg.Seed + 4000
+	cellRuns := 4 * trials
+	var specs []SimSpec
 	for _, cf := range factors {
 		header = append(header, fmt.Sprintf("%.2f", cf))
 		base := SimSpec{
@@ -97,14 +119,16 @@ func Table4(cfg Config) *Report {
 			Duration:         cfg.Duration,
 		}
 		base.App = "zoom"
-		fn, runs := fnCell(base, seed, trials)
-		udpRow = append(udpRow, pct(fn, runs))
-		seed += int64(4 * trials)
-
+		specs = append(specs, fnCellSpecs(base, cfg.Seed, "table4", fmt.Sprintf("udp/cf=%g", cf), trials)...)
 		base.App = TCPBulkApp
-		fn, runs = fnCell(base, seed, trials)
-		tcpRow = append(tcpRow, pct(fn, runs))
-		seed += int64(4 * trials)
+		specs = append(specs, fnCellSpecs(base, cfg.Seed, "table4", fmt.Sprintf("tcp/cf=%g", cf), trials)...)
+	}
+	for i, fn := range fnCounts(cfg, specs, cellRuns) {
+		if i%2 == 0 {
+			udpRow = append(udpRow, pct(fn, cellRuns))
+		} else {
+			tcpRow = append(tcpRow, pct(fn, cellRuns))
+		}
 	}
 
 	return &Report{
@@ -129,36 +153,41 @@ func Table5(cfg Config) *Report {
 
 	header := []string{}
 	row := []string{}
-	seed := cfg.Seed + 5000
+	var specs []SimSpec
 	for _, app := range g.AllApps() {
 		label := app
 		if app == TCPBulkApp {
 			label = "TCP"
 		}
 		header = append(header, label)
-		fp := 0
-		runs := 0
 		for i := 0; i < trials; i++ {
 			// Vary limiter configs across trials, identical within each.
 			f := g.InputFactors[i%len(g.InputFactors)]
 			q := g.QueueFactors[i%len(g.QueueFactors)]
-			seed++
-			res := RunSim(SimSpec{
+			specs = append(specs, SimSpec{
 				App:         app,
 				InputFactor: f,
 				QueueFactor: q,
 				BgShare:     0.5,
 				Placement:   LimiterNonCommon,
 				Duration:    cfg.Duration,
-				Seed:        seed,
+				Seed:        specSeed(cfg.Seed, "table5", app, i),
 			})
-			runs++
-			lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
-			if err == nil && lt.CommonBottleneck {
+		}
+	}
+	fpFlags := ForEach(len(specs), cfg.workers(), func(i int) bool {
+		res := RunSim(specs[i])
+		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
+		return err == nil && lt.CommonBottleneck
+	})
+	for start := 0; start < len(fpFlags); start += trials {
+		fp := 0
+		for _, hit := range fpFlags[start : start+trials] {
+			if hit {
 				fp++
 			}
 		}
-		row = append(row, pct(fp, runs))
+		row = append(row, pct(fp, trials))
 	}
 
 	return &Report{
