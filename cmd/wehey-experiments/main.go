@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/nal-epfl/wehey/internal/clock"
 	"github.com/nal-epfl/wehey/internal/experiments"
 )
 
@@ -50,7 +51,7 @@ func main() {
 		Workers:  *workers,
 	}
 
-	start := time.Now()
+	start := clock.Now()
 	if *run == "all" {
 		experiments.RunAll(os.Stdout, cfg)
 	} else {
@@ -66,5 +67,5 @@ func main() {
 			fmt.Println()
 		}
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "done in %v\n", clock.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,68 @@
+// Command wehey-lint runs the repository's determinism-invariant analyzers
+// (internal/analysis) over the given package patterns.
+//
+// Usage:
+//
+//	wehey-lint [-json] [-list] [patterns...]
+//
+// Patterns default to ./... . Exit status is 0 when clean, 1 when findings
+// were reported, 2 on a driver error (parse/typecheck/go list failure).
+// Findings are suppressed per line with:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nal-epfl/wehey/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(".", patterns, analysis.All(), analysis.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wehey-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "wehey-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "wehey-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nal-epfl/wehey/internal/clock"
 	"github.com/nal-epfl/wehey/internal/measure"
 	"github.com/nal-epfl/wehey/internal/testbed"
 	"github.com/nal-epfl/wehey/internal/trace"
@@ -169,14 +170,14 @@ func runSimClient(servers []string, dur time.Duration) {
 		receivers[i] = transport.NewReceiver(conn)
 	}
 	// Back-to-back starts.
-	start := time.Now()
+	start := clock.Now()
 	for i, conn := range conns {
 		hello := transport.HelloPacket(uint32(i + 1))
 		for k := 0; k < 3; k++ {
-			conn.Write(hello) //nolint:errcheck
+			conn.Write(hello) //lint:ignore errcheck hello datagrams are fire-and-forget; loss is retried
 		}
 	}
-	fmt.Printf("both paths opened within %v\n", time.Since(start))
+	fmt.Printf("both paths opened within %v\n", clock.Since(start))
 
 	ctx, cancel := context.WithTimeout(context.Background(), dur+2*time.Second)
 	defer cancel()
@@ -186,7 +187,7 @@ func runSimClient(servers []string, dur time.Duration) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			receivers[i].Serve(ctx) //nolint:errcheck
+			receivers[i].Serve(ctx) //lint:ignore errcheck serve ends with the context deadline
 		}()
 	}
 	wg.Wait()
@@ -207,7 +208,7 @@ func runClient(server string, dur time.Duration) {
 
 	hello := transport.HelloPacket(1)
 	for i := 0; i < 3; i++ {
-		conn.Write(hello) //nolint:errcheck
+		conn.Write(hello) //lint:ignore errcheck hello datagrams are fire-and-forget; loss is retried
 		time.Sleep(20 * time.Millisecond)
 	}
 

@@ -1,0 +1,56 @@
+package analysis
+
+import "strings"
+
+// Config scopes analyzers to the package layers whose invariants they
+// encode. Paths are module-relative import paths; an entry matches the
+// package itself and everything below it ("internal/netsim" also covers
+// "internal/netsim/foo").
+type Config struct {
+	// DetRandScope lists the deterministic layers in which calls to the
+	// global math/rand source are forbidden: all randomness there must
+	// flow through an injected *rand.Rand so experiment seeds fully
+	// determine behaviour.
+	DetRandScope []string
+	// WalltimeAllow lists the real-clock layers (and only those) allowed
+	// to call time.Now / time.Since. Everything else in the module — the
+	// simulator, experiments, stats, and the top-level binaries — runs in
+	// simulated or injected time.
+	WalltimeAllow []string
+}
+
+// DefaultConfig encodes this repository's layering: the simulator and the
+// analysis pipelines above it are deterministic; the loopback testbed, the
+// real UDP transport, and the clock helper are the sanctioned real-time
+// layers.
+func DefaultConfig() *Config {
+	return &Config{
+		DetRandScope: []string{
+			"internal/core",
+			"internal/experiments",
+			"internal/isp",
+			"internal/measure",
+			"internal/netsim",
+			"internal/stats",
+			"internal/tomo",
+			"internal/topology",
+			"internal/trace",
+			"internal/wehe",
+		},
+		WalltimeAllow: []string{
+			"internal/clock",
+			"internal/testbed",
+			"internal/transport",
+		},
+	}
+}
+
+// pathIn reports whether relPath is covered by one of the scope entries.
+func pathIn(relPath string, scope []string) bool {
+	for _, s := range scope {
+		if relPath == s || strings.HasPrefix(relPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}

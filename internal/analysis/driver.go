@@ -1,0 +1,68 @@
+package analysis
+
+import "go/ast"
+
+// Run loads every package matching patterns under dir, runs the given
+// analyzers over each, applies lint:ignore suppression, and returns the
+// surviving diagnostics in deterministic sorted order.
+func Run(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(pkg, analyzers, cfg)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// RunPackage fans the analyzers out over one loaded package and filters the
+// findings through the package's lint:ignore directives. Malformed
+// directives are themselves diagnostics.
+func RunPackage(pkg *Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	var directives []ignoreDirective
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		directives = append(directives, parseIgnores(pkg.Fset, f, func(d Diagnostic) {
+			malformed = append(malformed, d)
+		})...)
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			RelPath:  pkg.RelPath,
+			Config:   cfg,
+			report:   collect,
+		}
+		a.Run(pass)
+	}
+
+	out := malformed
+	for _, d := range raw {
+		if !suppressed(d, directives) {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// walkFiles applies fn to every node of every file in the pass.
+func (p *Pass) walkFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

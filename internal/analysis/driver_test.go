@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a throwaway module with violations spread over
+// two packages whose relative paths fall inside the default scopes.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmpmod\n\ngo 1.22\n",
+		"internal/netsim/clocked.go": `package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}
+`,
+		"internal/experiments/seeds.go": `package experiments
+
+import "math/rand"
+
+func Trials(n int) int64 {
+	seed := int64(1)
+	var total int64
+	for i := 0; i < n; i++ {
+		total += rand.New(rand.NewSource(seed)).Int63()
+		seed++
+	}
+	return total
+}
+`,
+		// A package outside every scope: its wall-clock read and global
+		// rand stay unreported, proving scoping applies in the driver too.
+		"internal/transport/wire.go": `package transport
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDriverTempModule(t *testing.T) {
+	dir := writeTempModule(t)
+	diags, err := Run(dir, []string{"./..."}, All(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.File)
+		if err != nil {
+			rel = d.File
+		}
+		got = append(got, rel+": "+d.Analyzer)
+	}
+	want := []string{
+		"internal/experiments/seeds.go: seedident",
+		"internal/netsim/clocked.go: walltime",
+		"internal/netsim/clocked.go: detrand",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("findings mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestDriverDeterministic runs the driver twice and demands identical,
+// sorted output — the property the CI gate and golden workflows rely on.
+func TestDriverDeterministic(t *testing.T) {
+	dir := writeTempModule(t)
+	first, err := Run(dir, []string{"./..."}, All(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(dir, []string{"./..."}, All(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two runs differ:\nfirst  %v\nsecond %v", first, second)
+	}
+	sorted := append([]Diagnostic(nil), first...)
+	sortDiagnostics(sorted)
+	if !reflect.DeepEqual(first, sorted) {
+		t.Fatalf("driver output not sorted: %v", first)
+	}
+}
+
+// TestLintCLI builds the wehey-lint binary and runs it over the temp
+// module: exit code 1, deterministic byte-identical stdout across runs,
+// and exit 0 once every finding is suppressed.
+func TestLintCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "wehey-lint")
+	build := exec.Command("go", "build", "-o", bin, "github.com/nal-epfl/wehey/cmd/wehey-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build wehey-lint: %v\n%s", err, out)
+	}
+	dir := writeTempModule(t)
+
+	runOnce := func() (string, int) {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("run wehey-lint: %v\n%s", err, stderr.String())
+		}
+		return stdout.String(), code
+	}
+
+	out1, code1 := runOnce()
+	out2, code2 := runOnce()
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("want exit 1 on findings, got %d then %d", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("nondeterministic output:\n--- run1\n%s--- run2\n%s", out1, out2)
+	}
+	if n := strings.Count(out1, "\n"); n != 3 {
+		t.Fatalf("want 3 findings, got %d:\n%s", n, out1)
+	}
+
+	// Suppress every finding with a justified directive; the gate opens.
+	for _, f := range []struct{ path, old, new string }{
+		{"internal/netsim/clocked.go", "\t_ = time.Now()",
+			"\t//lint:ignore walltime test suppression\n\t_ = time.Now()"},
+		{"internal/netsim/clocked.go", "\treturn rand.Float64()",
+			"\t//lint:ignore detrand test suppression\n\treturn rand.Float64()"},
+		{"internal/experiments/seeds.go", "\t\ttotal += rand.New(rand.NewSource(seed)).Int63()",
+			"\t\t//lint:ignore seedident test suppression\n\t\ttotal += rand.New(rand.NewSource(seed)).Int63()"},
+	} {
+		full := filepath.Join(dir, f.path)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched := strings.Replace(string(data), f.old, f.new, 1)
+		if patched == string(data) {
+			t.Fatalf("patch %q not applied in %s", f.old, f.path)
+		}
+		if err := os.WriteFile(full, []byte(patched), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out3, code3 := runOnce()
+	if code3 != 0 || out3 != "" {
+		t.Fatalf("want clean exit after suppression, got code %d output %q", code3, out3)
+	}
+}

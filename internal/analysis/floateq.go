@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq flags == and != between floating-point operands. The
+// statistics layer's verdicts hinge on threshold comparisons; exact float
+// equality silently depends on evaluation order and FMA contraction, which
+// is exactly the class of platform-coupled behaviour a reproduction cannot
+// afford. Compare against an explicit epsilon, or suppress with a reason
+// when exact identity is genuinely intended (sentinel values, NaN checks).
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	p.walkFiles(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if p.isFloat(be.X) || p.isFloat(be.Y) {
+			p.Reportf(be.OpPos, "%s on floating-point operands; compare with an explicit tolerance", be.Op)
+		}
+		return true
+	})
+}
+
+func (p *Pass) isFloat(expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed "//lint:ignore <analyzer> <reason>" comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+}
+
+const ignorePrefix = "lint:ignore"
+
+// parseIgnores extracts every lint:ignore directive from a file. Malformed
+// directives (missing analyzer or missing reason) are reported through
+// report so they cannot silently suppress nothing.
+func parseIgnores(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" || reason == "" {
+				report(Diagnostic{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: "ignore",
+					Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			out = append(out, ignoreDirective{analyzer: name, reason: reason, line: pos.Line})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic at line is covered by a directive:
+// either trailing on the same line or on its own line directly above.
+func suppressed(d Diagnostic, directives []ignoreDirective) bool {
+	for _, dir := range directives {
+		if dir.analyzer != d.Analyzer {
+			continue
+		}
+		if dir.line == d.Line || dir.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// Package is one loaded, type-checked, non-test package of the module.
+type Package struct {
+	ImportPath string
+	RelPath    string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// goList enumerates packages matching patterns, rooted at dir.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves module-local imports from the loader's cache
+// (populated in dependency order, so every local import is already
+// type-checked exactly once) and delegates everything else to a shared
+// source-mode importer for the standard library.
+type moduleImporter struct {
+	cache map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// Load enumerates, parses and type-checks the non-test Go files of every
+// package matching patterns under dir. Each package is type-checked once;
+// results come back sorted by import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+
+	// Dependency-order the module-local packages so the importer cache is
+	// always warm. Imports outside the listed set (stdlib) are ignored;
+	// visiting is over the sorted path list, keeping the order stable.
+	order := make([]string, 0, len(listed))
+	state := make(map[string]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := byPath[path]
+		if !ok {
+			return nil
+		}
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(listed))
+	for _, p := range listed {
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		cache: make(map[string]*types.Package, len(order)),
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+
+	var out []*Package
+	for _, path := range order {
+		lp := byPath[path]
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", path, err)
+		}
+		imp.cache[path] = tpkg
+		out = append(out, &Package{
+			ImportPath: path,
+			RelPath:    relPath(lp, path),
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// relPath strips the module path prefix from an import path so scope
+// matching is module-name independent.
+func relPath(lp *listedPackage, path string) string {
+	if lp.Module == nil {
+		return path
+	}
+	if path == lp.Module.Path {
+		return ""
+	}
+	return strings.TrimPrefix(path, lp.Module.Path+"/")
+}

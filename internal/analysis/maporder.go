@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapOrder flags `for range` over a map whose body emits ordered
+// output — appending to a slice or writing through fmt — because Go map
+// iteration order is randomized per run. Report rows and diagnostic streams
+// built that way differ between otherwise identical runs. The sanctioned
+// fix is collecting the keys, sorting, and ranging over the sorted slice;
+// a collect-then-sort append (the slice is sorted later in the same
+// function) is recognized and not flagged.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no map iteration feeding ordered output (slice appends, fmt writes) without sorting",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.mapOrderBody(fd.Body)
+		}
+	}
+}
+
+func (p *Pass) mapOrderBody(funcBody *ast.BlockStmt) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.checkMapRange(funcBody, rs)
+		return true
+	})
+}
+
+func (p *Pass) checkMapRange(funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				// Collect-then-sort is fine: the appended slice only
+				// needs to be sorted before anything ordered consumes it.
+				if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := p.Info.Uses[target]; obj != nil && p.sortedAfter(funcBody, rs, obj) {
+						return true
+					}
+				}
+				p.Reportf(call.Pos(), "append inside map iteration: element order is randomized per run; range over sorted keys")
+				return true
+			}
+		}
+		pkgPath, name := p.pkgFuncName(call)
+		if pkgPath == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			p.Reportf(call.Pos(), "fmt.%s inside map iteration: output order is randomized per run; range over sorted keys", name)
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement within the same function body.
+func (p *Pass) sortedAfter(funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return !found
+		}
+		pkgPath, _ := p.pkgFuncName(call)
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if p.exprUsesObj(arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

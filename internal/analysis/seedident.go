@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSeedIdent flags the order-coupled seed counter pattern that PR 1
+// had to excise: an integer declared outside a loop, incremented in the
+// loop body, and used inside the loop as a rand.NewSource argument or as a
+// seed-named parameter. Such seeds encode execution order, not experiment
+// identity — reordering or parallelizing the loop silently changes every
+// downstream result. Seeds must be derived from stable identity (the
+// specSeed hash of experiment name + trial index), never from a counter.
+var AnalyzerSeedIdent = &Analyzer{
+	Name: "seedident",
+	Doc:  "no incremented counters used as seeds across loop iterations",
+	Run:  runSeedIdent,
+}
+
+func runSeedIdent(p *Pass) {
+	p.walkFiles(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var loopPos = n
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		counters := p.loopBodyCounters(body, loopPos.Pos())
+		if len(counters) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			p.checkSeedArgs(call, counters)
+			return true
+		})
+		return true
+	})
+}
+
+// loopBodyCounters collects objects declared before the loop and mutated by
+// ++/+= inside the loop body. Canonical index variables (incremented only
+// in a for statement's post clause) are excluded: they are rebound per
+// loop, while a counter that outlives the loop couples seeds to how many
+// iterations ran before — across loops and call sites.
+func (p *Pass) loopBodyCounters(body *ast.BlockStmt, loopPos token.Pos) map[types.Object]bool {
+	posts := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Post != nil {
+			posts[fs.Post] = true
+		}
+		return true
+	})
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || obj.Pos() >= loopPos {
+			return
+		}
+		if basic, ok := obj.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+			return
+		}
+		out[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if !posts[s] {
+				record(s.X)
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 && !posts[s] {
+				record(s.Lhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkSeedArgs reports counters flowing into rand.NewSource or into any
+// call argument whose parameter name mentions "seed".
+func (p *Pass) checkSeedArgs(call *ast.CallExpr, counters map[types.Object]bool) {
+	pkgPath, name := p.pkgFuncName(call)
+	isNewSource := isRandPkg(pkgPath) && name == "NewSource"
+
+	var sig *types.Signature
+	if fn := p.calleeFunc(call); fn != nil {
+		sig = fn.Type().(*types.Signature)
+	}
+	for i, arg := range call.Args {
+		seedParam := isNewSource
+		if !seedParam && sig != nil && sig.Params().Len() > 0 {
+			pi := i
+			if pi >= sig.Params().Len() {
+				pi = sig.Params().Len() - 1
+			}
+			seedParam = strings.Contains(strings.ToLower(sig.Params().At(pi).Name()), "seed")
+		}
+		if !seedParam {
+			continue
+		}
+		for obj := range counters {
+			if p.exprUsesObj(arg, obj) {
+				p.Reportf(arg.Pos(), "counter %q is incremented across loop iterations and used as a seed; seeds must come from stable identity (hash experiment name + trial index), not execution order", obj.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the detrand analyzer, checked as if under internal/netsim.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() {
+	_ = rand.Intn(10)                  // want "global rand.Intn"
+	_ = rand.Float64()                 // want "global rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle"
+}
+
+func timeSeed() {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func injected(rng *rand.Rand) {
+	// Method calls on an injected generator are the sanctioned pattern.
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	_ = rand.New(rand.NewSource(42)) // explicit literal seed is fine
+}
+
+func suppressedGlobal() {
+	//lint:ignore detrand fixture demonstrates a justified suppression
+	_ = rand.Intn(10)
+}

@@ -1,0 +1,30 @@
+// Fixture for the floateq analyzer.
+package fixture
+
+func compare(a, b float64, n, m int) bool {
+	if a == b { // want "== on floating-point operands"
+		return true
+	}
+	if a != 0 { // want "!= on floating-point operands"
+		return false
+	}
+	// Integer and other comparable types are fine.
+	if n == m {
+		return true
+	}
+	return float32(a) == float32(b) // want "== on floating-point operands"
+}
+
+func tolerated(a, b, eps float64) bool {
+	// The sanctioned pattern: explicit tolerance.
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func suppressedNaNCheck(x float64) bool {
+	//lint:ignore floateq exact self-inequality is the NaN test
+	return x != x
+}

@@ -1,0 +1,17 @@
+// Fixture for the suppression directive machinery, run under floateq.
+package fixture
+
+func directives(a, b float64) {
+	//lint:ignore floateq preceding-line directive covers the next line
+	_ = a == b
+
+	_ = a == b //lint:ignore floateq trailing directive covers its own line
+
+	//lint:ignore walltime directive for another analyzer does not suppress
+	_ = a == b // want "== on floating-point operands"
+
+	/* want "malformed lint:ignore directive" */ //lint:ignore floateq
+	_ = a == b                                   // want "== on floating-point operands"
+}
+
+/* want "malformed lint:ignore directive" */ //lint:ignore

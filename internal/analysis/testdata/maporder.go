@@ -1,0 +1,53 @@
+// Fixture for the maporder analyzer.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendsInMapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append inside map iteration"
+	}
+	return out
+}
+
+func printsInMapOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the appended slice is sorted
+// before anything ordered consumes it, so the loop is not flagged.
+func collectThenSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sliceRange exercises the type check: ranging over a slice never fires.
+func sliceRange(w io.Writer, xs []int) {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+		fmt.Fprintln(w, v)
+	}
+}
+
+func suppressedMapRange(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore maporder fixture demonstrates a justified suppression
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Fixture for the seedident analyzer: reconstructions of the order-coupled
+// seed counter pattern PR 1 excised, plus the sanctioned replacements.
+package fixture
+
+import "math/rand"
+
+func runSim(cfg int, simSeed int64) int64 { return simSeed }
+
+func specSeed(base int64, name string, trial int) int64 {
+	return base ^ int64(trial) ^ int64(len(name))
+}
+
+// pr1Pattern is the exact bug class: a counter living across iterations,
+// incremented in the body, feeding NewSource — seeds then encode how many
+// runs happened before, not which run this is.
+func pr1Pattern(trials int) {
+	seed := int64(1)
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(seed)) // want "counter \"seed\" is incremented across loop iterations"
+		_ = rng.Int63()
+		seed++
+	}
+}
+
+// seedParam flags the same counter flowing into a seed-named parameter of
+// an ordinary function instead of rand.NewSource.
+func seedParam(trials int) {
+	next := int64(0)
+	for i := 0; i < trials; i++ {
+		_ = runSim(i, next) // want "counter \"next\" is incremented across loop iterations"
+		next += 2
+	}
+}
+
+// identitySeeds is the sanctioned pattern: the loop index (incremented
+// only in the for post clause) hashed with stable identity.
+func identitySeeds(trials int) {
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(specSeed(42, "fig5", i)))
+		_ = rng.Int63()
+	}
+}
+
+// plainCounter is fine as long as it never reaches a seed position.
+func plainCounter(xs []int) int64 {
+	var total int64
+	for _, x := range xs {
+		total += int64(x)
+	}
+	return total
+}
+
+func suppressedCounter(trials int) {
+	seed := int64(1)
+	for i := 0; i < trials; i++ {
+		//lint:ignore seedident fixture demonstrates a justified suppression
+		_ = rand.New(rand.NewSource(seed))
+		seed++
+	}
+}

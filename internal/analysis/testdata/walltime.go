@@ -1,0 +1,21 @@
+// Fixture for the walltime analyzer, checked as if under internal/netsim.
+package fixture
+
+import "time"
+
+func reads() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func legal(now time.Time) {
+	// Constructing times and durations is fine; only reading the real
+	// clock is banned.
+	_ = now.Add(time.Second)
+	_ = time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressedRead() time.Time {
+	//lint:ignore walltime fixture demonstrates a justified suppression
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Fixture for the walltime allowlist: checked as if under
+// internal/transport, the sanctioned real-clock layer — nothing reported.
+package fixture
+
+import "time"
+
+func realClockLayer() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the package-level function or
+// method object it invokes, or nil for builtins, conversions and calls
+// through function-typed variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fnObj, _ := p.Info.Uses[id].(*types.Func)
+	return fnObj
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method, not a local shadow).
+func (p *Pass) isPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgFuncName returns "path.Name" for a call to a package-level function,
+// or "" otherwise.
+func (p *Pass) pkgFuncName(call *ast.CallExpr) (pkgPath, name string) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// isRandPkg reports whether a package path is one of the math/rand flavours.
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// exprUsesObj reports whether expr references obj anywhere inside it.
+func (p *Pass) exprUsesObj(expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// incrementedIdents collects the objects of identifiers mutated by x++ or
+// x += ... statements inside node (a loop body).
+func (p *Pass) incrementedIdents(node ast.Node) map[types.Object]ast.Node {
+	out := make(map[types.Object]ast.Node)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					out[obj] = s
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						out[obj] = s
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import "go/ast"
+
+// wallClockFuncs are the package time functions that read the real clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// AnalyzerWalltime forbids wall-clock reads outside the allowlisted
+// real-time layers. Simulated-time packages (netsim and everything driven
+// by it) must take time from the event engine's clock, and top-level
+// binaries route elapsed-time logging through internal/clock; a stray
+// time.Now couples simulation output to the machine it ran on.
+var AnalyzerWalltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no time.Now/time.Since outside the allowlisted real-clock layers",
+	Run:  runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	if pathIn(p.RelPath, p.Config.WalltimeAllow) {
+		return
+	}
+	p.walkFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name := p.pkgFuncName(call)
+		if pkgPath == "time" && wallClockFuncs[name] {
+			p.Reportf(call.Pos(), "wall-clock read time.%s in a simulated-time package; use the engine clock or internal/clock", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+// Package clock is the sanctioned wall-clock access point for code outside
+// the real-time layers (internal/transport, internal/testbed). Simulated
+// components take time from the netsim event engine; top-level binaries
+// that only need elapsed-time logging import this package instead of
+// calling time.Now directly, which keeps the walltime analyzer's invariant
+// sharp: any other wall-clock read in the module is a finding.
+package clock
+
+import "time"
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

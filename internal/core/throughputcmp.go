@@ -113,7 +113,7 @@ func welchLessP(a, b []float64) float64 {
 	na, nb := float64(len(a)), float64(len(b))
 	va, vb := stats.Variance(a)/na, stats.Variance(b)/nb
 	den := math.Sqrt(va + vb)
-	if den == 0 {
+	if den == 0 { //lint:ignore floateq guards exact division by zero (both samples constant)
 		return 1
 	}
 	t := (stats.Mean(a) - stats.Mean(b)) / den

@@ -212,6 +212,7 @@ func RunSim(spec SimSpec) SimResult {
 			// would create strong *independent* loss trends on l_1/l_2 and
 			// overstate the FN rate relative to the paper's setup.)
 			paths[i].BgRate += crossBgRate
+			//lint:ignore floateq exact sentinel: 1 is the literal untouched default
 			if paths[i].BgDiffFraction == 1 {
 				paths[i].BgDiffFraction = bgDiff / (bgDiff + crossBgRate)
 			}

@@ -51,6 +51,7 @@ func (s *SynthSpec) fill() {
 	if s.ModPeriod <= 0 {
 		s.ModPeriod = 250 * time.Millisecond
 	}
+	//lint:ignore floateq exact sentinel: zero means unset, filled with the default
 	if s.RegLagRTTs == 0 {
 		s.RegLagRTTs = 1
 	}

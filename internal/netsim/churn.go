@@ -79,6 +79,7 @@ func NewChurn(eng *Engine, cfg ChurnConfig, rng *rand.Rand, sc *Scenario, pathId
 // meanFlowBytes returns the mean of the bounded Pareto distribution.
 func (c *Churn) meanFlowBytes() float64 {
 	a, lo, hi := c.cfg.Alpha, c.cfg.MinBytes, c.cfg.MaxBytes
+	//lint:ignore floateq exact special case of the bounded-Pareto mean formula
 	if a == 1 {
 		return lo * math.Log(hi/lo) / (1 - lo/hi)
 	}

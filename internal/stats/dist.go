@@ -13,9 +13,9 @@ func NormalCDF(z float64) float64 {
 func NormalQuantile(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case p == 0: //lint:ignore floateq exact boundary maps to -Inf
 			return math.Inf(-1)
-		case p == 1:
+		case p == 1: //lint:ignore floateq exact boundary maps to +Inf
 			return math.Inf(1)
 		}
 		return math.NaN()

@@ -53,6 +53,7 @@ func (e *Empirical) CDFPoints() (xs, fs []float64) {
 	fs = make([]float64, 0, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq exact tie detection on sorted samples builds the ECDF steps
 		for j+1 < n && e.sorted[j+1] == e.sorted[i] {
 			j++
 		}

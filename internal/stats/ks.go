@@ -32,9 +32,11 @@ func KolmogorovSmirnov(x, y []float64) (KSResult, error) {
 	i, j := 0, 0
 	for i < n1 && j < n2 {
 		v := math.Min(xs[i], ys[j])
+		//lint:ignore floateq exact tie detection while merging sorted samples
 		for i < n1 && xs[i] == v {
 			i++
 		}
+		//lint:ignore floateq exact tie detection while merging sorted samples
 		for j < n2 && ys[j] == v {
 			j++
 		}

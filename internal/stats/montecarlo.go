@@ -14,7 +14,7 @@ import (
 func RelMeanDiff(a, b []float64) float64 {
 	ma, mb := Mean(a), Mean(b)
 	den := math.Max(ma, mb)
-	if den == 0 {
+	if den == 0 { //lint:ignore floateq guards exact division by zero
 		return 0
 	}
 	return (ma - mb) / den

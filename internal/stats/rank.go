@@ -22,6 +22,7 @@ func Ranks(xs []float64) []float64 {
 
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq exact tie detection on sorted values assigns mid-ranks
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}
@@ -49,6 +50,7 @@ func TieGroups(xs []float64) []int {
 	var groups []int
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq exact tie detection feeds the tie-correction terms
 		for j+1 < n && sorted[j+1] == sorted[i] {
 			j++
 		}

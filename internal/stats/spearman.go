@@ -95,6 +95,7 @@ func pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//lint:ignore floateq guards exact division by zero (constant input)
 	if sxx == 0 || syy == 0 {
 		return math.NaN()
 	}

@@ -67,7 +67,9 @@ func binLossTomoRates(r1, r2 []float64, tau float64) (LinkPerf, bool) {
 	y1 := float64(good1) / float64(n)
 	y2 := float64(good2) / float64(n)
 	y12 := float64(good12) / float64(n)
-	if y12 == 0 || y1 == 0 || y2 == 0 {
+	// Integer count checks: the yields are exact ratios, zero iff the
+	// underlying count is zero.
+	if good12 == 0 || good1 == 0 || good2 == 0 {
 		return LinkPerf{}, false
 	}
 	perf := LinkPerf{
@@ -264,7 +266,9 @@ func trendSystem(l1, l2 []bool) (LinkPerf, bool) {
 	y1 := float64(good1) / float64(n)
 	y2 := float64(good2) / float64(n)
 	y12 := float64(good12) / float64(n)
-	if y12 == 0 || y1 == 0 || y2 == 0 {
+	// Integer count checks: the yields are exact ratios, zero iff the
+	// underlying count is zero.
+	if good12 == 0 || good1 == 0 || good2 == 0 {
 		return LinkPerf{}, false
 	}
 	return LinkPerf{

@@ -97,7 +97,16 @@ func Construct(trs []*Traceroute) *DB {
 	for _, tr := range trs {
 		byDest[tr.DestIP] = append(byDest[tr.DestIP], tr)
 	}
-	for dest, direct := range byDest {
+	// Iterate destinations in sorted order: dedupePairs keeps the first
+	// occurrence per server pair, so append order must not depend on map
+	// iteration.
+	dests := make([]string, 0, len(byDest))
+	for d := range byDest {
+		dests = append(dests, d)
+	}
+	sort.Strings(dests)
+	for _, dest := range dests {
+		direct := byDest[dest]
 		// Step 1's fallback (same-ASN traceroutes) applies only when no
 		// traceroute targets d at all — i.e. to destinations absent from
 		// this loop; a destination with a single usable traceroute gets no
@@ -200,7 +209,13 @@ func dedupePairs(pairs []ServerPair) []ServerPair {
 // M-Lab publishes new traceroutes; merging keeps prior knowledge while
 // adding fresh pairs).
 func (db *DB) Merge(other *DB) {
-	for pfx, e := range other.byPrefix {
+	prefixes := make([]string, 0, len(other.byPrefix))
+	for pfx := range other.byPrefix {
+		prefixes = append(prefixes, pfx)
+	}
+	sort.Strings(prefixes)
+	for _, pfx := range prefixes {
+		e := other.byPrefix[pfx]
 		cur, ok := db.byPrefix[pfx]
 		if !ok {
 			cp := &Entry{Prefix: e.Prefix, ASN: e.ASN, Pairs: append([]ServerPair(nil), e.Pairs...)}

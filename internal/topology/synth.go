@@ -49,12 +49,15 @@ func (s *SynthSpec) fill() {
 	if s.TracesPerClient <= 0 {
 		s.TracesPerClient = 3
 	}
+	//lint:ignore floateq exact sentinel: zero selects the default probability
 	if s.PICMPBlockISP == 0 {
 		s.PICMPBlockISP = 0.45
 	}
+	//lint:ignore floateq exact sentinel: zero selects the default probability
 	if s.PAlias == 0 {
 		s.PAlias = 0.25
 	}
+	//lint:ignore floateq exact sentinel: zero selects the default probability
 	if s.PTruncate == 0 {
 		s.PTruncate = 0.25
 	}

@@ -64,7 +64,7 @@ func (d *DgramSender) Replay(ctx context.Context, tr *trace.Trace) error {
 			copy(payload, hello)
 		}
 		buf = append(buf, payload...)
-		d.conn.Write(buf) //nolint:errcheck
+		d.conn.Write(buf) //lint:ignore errcheck datagram sends are fire-and-forget; loss is the measured signal
 		d.mu.Lock()
 		d.TxLog = append(d.TxLog, time.Since(start))
 		d.TxCount++
@@ -119,7 +119,7 @@ func (r *DgramReceiver) Serve(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
 		n, err := r.conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {

@@ -64,8 +64,25 @@ func (h *History) TDiff(client, app, carrier string) []float64 {
 		k := key{rec.Client, rec.App, rec.Carrier}
 		groups[k] = append(groups[k], rec)
 	}
+	// Emit groups in sorted key order: the caller feeds this distribution
+	// into subsampling driven by a seeded rng, so element order must not
+	// depend on map iteration.
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].c != keys[j].c {
+			return keys[i].c < keys[j].c
+		}
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].r < keys[j].r
+	})
 	var out []float64
-	for _, g := range groups {
+	for _, k := range keys {
+		g := groups[k]
 		for i := 0; i < len(g); i++ {
 			for j := i + 1; j < len(g); j++ {
 				if g[j].At.Sub(g[i].At) >= PairWindow {
