@@ -1,0 +1,215 @@
+// Command wehey-bench runs the repository's benchmark suite and writes a
+// machine-readable perf-trajectory snapshot (BENCH_<pr>.json). Committed
+// snapshots let later performance PRs diff ns/op, B/op, allocs/op, and the
+// per-benchmark result metrics against a fixed baseline instead of
+// re-running old revisions.
+//
+// Usage:
+//
+//	wehey-bench -out BENCH_3.json                  # full suite, one iteration each
+//	wehey-bench -bench 'Table1|Figure6' -count 3   # focus run, averaged
+//	go test -run '^$' -bench . -benchmem | wehey-bench -parse -out snap.json
+//
+// The tool shells out to `go test` in the repository root (or parses a
+// captured `go test -bench` log on stdin with -parse), extracts every
+// `Benchmark*` result line, and emits deterministic JSON: benchmarks
+// sorted by name, metrics sorted by key, no timestamps or host state, so
+// a committed snapshot only changes when the numbers do.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the committed perf-trajectory record.
+type Snapshot struct {
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// BenchArgs records the `go test` invocation the numbers came from.
+	BenchArgs string `json:"bench_args"`
+	// Benchmarks holds one entry per benchmark, sorted by name.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark aggregates the result lines of one benchmark (averaged over
+// -count runs).
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Runs is how many result lines were aggregated.
+	Runs int `json:"runs"`
+	// Iterations is the mean b.N across runs.
+	Iterations float64 `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op,omitempty"`
+	AllocsSize float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries the benchmark's custom b.ReportMetric units
+	// (e.g. "ISP1-localized-%").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count value; runs are averaged")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "", "output file (default stdout)")
+		parse     = flag.Bool("parse", false, "parse `go test -bench` output from stdin instead of running")
+		workers   = flag.Int("workers", 0, "experiment worker-pool width forwarded to the bench harness")
+	)
+	flag.Parse()
+
+	var input io.Reader
+	argsDesc := "stdin"
+	if *parse {
+		input = os.Stdin
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count)}
+		if *workers > 0 {
+			args = append(args, "-workers", strconv.Itoa(*workers))
+		}
+		args = append(args, *pkg)
+		argsDesc = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cmd.Wait(); err != nil {
+				fatal(fmt.Errorf("go test: %w", err))
+			}
+		}()
+		// Echo the raw lines so the run stays observable while parsing.
+		input = io.TeeReader(pipe, os.Stderr)
+	}
+
+	snap, err := parseBench(input)
+	if err != nil {
+		fatal(err)
+	}
+	snap.BenchArgs = argsDesc
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench aggregates `go test -bench` result lines into a Snapshot.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	type acc struct {
+		runs    int
+		iters   float64
+		sums    map[string]float64 // unit → summed value
+		metrics map[string]bool    // units seen beyond the stock three
+	}
+	byName := map[string]*acc{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-P  N  v1 unit1  v2 unit2 ...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			a = &acc{sums: map[string]float64{}, metrics: map[string]bool{}}
+			byName[name] = a
+		}
+		a.runs++
+		a.iters += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			a.sums[unit] += v
+			switch unit {
+			case "ns/op", "B/op", "allocs/op":
+			default:
+				a.metrics[unit] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("no Benchmark result lines found")
+	}
+
+	snap := &Snapshot{Schema: 1}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := byName[n]
+		div := float64(a.runs)
+		b := Benchmark{
+			Name:       n,
+			Runs:       a.runs,
+			Iterations: a.iters / div,
+			NsPerOp:    a.sums["ns/op"] / div,
+			BPerOp:     a.sums["B/op"] / div,
+			AllocsSize: a.sums["allocs/op"] / div,
+		}
+		if len(a.metrics) > 0 {
+			b.Metrics = make(map[string]float64, len(a.metrics))
+			for u := range a.metrics {
+				b.Metrics[u] = a.sums[u] / div
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return snap, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wehey-bench:", err)
+	os.Exit(1)
+}

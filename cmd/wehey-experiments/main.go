@@ -11,12 +11,21 @@
 // -workers fans the simulation runs of one experiment out over a worker
 // pool (default: GOMAXPROCS). Seeds derive from each run's identity, not
 // execution order, so the output is byte-identical for every width.
+//
+// -cpuprofile, -memprofile, and -trace write stdlib runtime/pprof and
+// runtime/trace output for paper-scale perf work:
+//
+//	wehey-experiments -run table1 -full -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -25,6 +34,12 @@ import (
 )
 
 func main() {
+	// Profile/trace defers must flush before the process exits, so the
+	// work happens in realMain and the exit code is applied here.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -33,14 +48,57 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale trial counts (slow)")
 		duration = flag.Duration("duration", 0, "replay duration override (0 = per-experiment default)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); output is identical for any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			closeOrFatal(f)
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			closeOrFatal(f)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live heap so the profile shows retention
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			closeOrFatal(f)
+		}()
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.Config{
@@ -62,10 +120,22 @@ func main() {
 			}
 			if err := experiments.Run(os.Stdout, name, cfg); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", clock.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wehey-experiments:", err)
+	os.Exit(1)
+}
+
+func closeOrFatal(f *os.File) {
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }

@@ -115,6 +115,9 @@ type SimResult struct {
 func RunSim(spec SimSpec) SimResult {
 	spec.fill()
 	var eng netsim.Engine
+	// The run stops at a fixed horizon with timers still queued; Release
+	// recycles the event queue and packet freelist for the next trial.
+	defer eng.Release()
 
 	maxRTT := spec.RTT1
 	if spec.RTT2 > maxRTT {

@@ -100,7 +100,14 @@ func (c *Churn) Start(at time.Duration) {
 	if c.cfg.MeanRate <= 0 {
 		return
 	}
-	c.eng.Schedule(at, c.arrive)
+	c.eng.scheduleCall(at, c, evChurnArrive, 0)
+}
+
+// handle dispatches the source's interned engine callbacks.
+func (c *Churn) handle(kind eventKind, _ uint64) {
+	if kind == evChurnArrive {
+		c.arrive()
+	}
 }
 
 func (c *Churn) arrive() {
@@ -131,5 +138,5 @@ func (c *Churn) arrive() {
 	if gap <= 0 {
 		gap = time.Millisecond
 	}
-	c.eng.After(gap, c.arrive)
+	c.eng.afterCall(gap, c, evChurnArrive, 0)
 }

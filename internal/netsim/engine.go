@@ -8,43 +8,97 @@
 // Everything is deterministic: the engine is single-threaded, event order
 // is total (time, then insertion sequence), and all stochastic components
 // draw from explicitly seeded *rand.Rand streams.
+//
+// The scheduling hot path is allocation-free in steady state: events are
+// typed records in a non-boxing 4-ary min-heap (no container/heap
+// interface{} boxing, no per-delivery closures), hop queues are growable
+// ring buffers, and packets recycle through an engine-owned freelist. See
+// DESIGN.md §8 for the event model and the packet-ownership rules.
 package netsim
 
 import (
-	"container/heap"
+	"sync"
 	"time"
+)
+
+// Experiments build one short-lived Engine per trial, so the expensive
+// backing arrays — the event queue and the packet freelist — are recycled
+// across engines through sync.Pools. This is pure storage reuse: buffers
+// come back empty (the queue) or fully reset on AllocPacket (packets), so
+// event order and packet contents are unaffected. Both pools are
+// goroutine-safe; the parallel experiment runner shares them across
+// workers.
+var (
+	pqPool       sync.Pool // *[]event, len 0, contents zeroed
+	freelistPool sync.Pool // *[]*Packet, every element recycled (dead)
 )
 
 // Engine is the discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
 	now time.Duration
-	pq  eventQueue
+	pq  []event
 	seq uint64
+
+	// Packet freelist (see AllocPacket/FreePacket). Single-threaded like
+	// the rest of the engine: each Engine owns its packets exclusively.
+	free       []*Packet
+	allocCount int64 // packets handed out (fresh + recycled)
+	reuseCount int64 // packets recycled from the freelist
 }
 
+// eventKind discriminates the typed event records. Hot-path events carry
+// their target and a packed argument instead of a closure, so scheduling
+// them allocates nothing.
+type eventKind uint8
+
+const (
+	// evFunc runs a closure — the compatibility shim for cold paths and
+	// tests (Engine.Schedule / Engine.After).
+	evFunc eventKind = iota
+	// evDeliver hands a packet to a hop (link/limiter egress).
+	evDeliver
+	// The remaining kinds are interned method callbacks, dispatched to the
+	// event's handler with the packed arg.
+	evLinkTransmitNext
+	evTBFDrain
+	evTCPTrySend
+	evTCPPace
+	evTCPRTO // arg: timer generation
+	evTCPAck // arg: seq<<1 | echoRtx
+	evUDPSend
+	evBGModulate
+	evBGEmit
+	evChurnArrive
+)
+
+// handler dispatches an interned callback event to its owner. Converting a
+// concrete pointer (e.g. *Link) to this interface does not allocate.
+type handler interface {
+	handle(kind eventKind, arg uint64)
+}
+
+// event is a typed scheduler record. Exactly one of the payload groups is
+// used, selected by kind: fn (evFunc), pkt+hop (evDeliver), or h+arg
+// (interned callbacks).
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	arg  uint64
+	pkt  *Packet
+	hop  Hop
+	h    handler
+	fn   func()
+	kind eventKind
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess is the total event order: time, then insertion sequence. Every
+// (at, seq) pair is unique, so any correct heap yields the same pop order —
+// the determinism contract does not depend on heap arity or layout.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Now returns the current simulation time.
@@ -52,12 +106,12 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Schedule runs fn at simulation time at. Events scheduled in the past run
 // at the current time, after already-pending events for that time.
+//
+// This is the closure compatibility shim: it allocates the closure like any
+// Go function value. Hot paths inside the package use the typed record
+// schedulers below instead.
 func (e *Engine) Schedule(at time.Duration, fn func()) {
-	if at < e.now {
-		at = e.now
-	}
-	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	e.push(at, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -65,27 +119,216 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// ScheduleDeliver hands pkt to hop at simulation time at without
+// allocating. A nil hop is a terminal delivery: the packet is recycled.
+func (e *Engine) ScheduleDeliver(at time.Duration, pkt *Packet, hop Hop) {
+	e.push(at, event{kind: evDeliver, pkt: pkt, hop: hop})
+}
+
+// AfterDeliver hands pkt to hop d from now without allocating.
+func (e *Engine) AfterDeliver(d time.Duration, pkt *Packet, hop Hop) {
+	e.ScheduleDeliver(e.now+d, pkt, hop)
+}
+
+// scheduleCall schedules an interned callback event.
+func (e *Engine) scheduleCall(at time.Duration, h handler, kind eventKind, arg uint64) {
+	e.push(at, event{kind: kind, h: h, arg: arg})
+}
+
+// afterCall schedules an interned callback event d from now.
+func (e *Engine) afterCall(d time.Duration, h handler, kind eventKind, arg uint64) {
+	e.scheduleCall(e.now+d, h, kind, arg)
+}
+
+// push clamps at to the present, assigns the insertion sequence, and sifts
+// the record into the 4-ary heap.
+func (e *Engine) push(at time.Duration, ev event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev.at, ev.seq = at, e.seq
+	if e.pq == nil {
+		if b, _ := pqPool.Get().(*[]event); b != nil {
+			e.pq = (*b)[:0]
+		}
+	}
+	e.pq = append(e.pq, ev)
+	e.siftUp(len(e.pq) - 1)
+}
+
+// The heap is 4-ary: children of i are 4i+1..4i+4, parent is (i-1)/4.
+// Shallower than a binary heap (fewer swap levels per op on the large
+// queues paper-scale runs build up), with the 4-way child minimum staying
+// in one cache line of events.
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(&e.pq[i], &e.pq[p]) {
+			break
+		}
+		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
+		i = p
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.pq)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&e.pq[c], &e.pq[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&e.pq[min], &e.pq[i]) {
+			return
+		}
+		e.pq[i], e.pq[min] = e.pq[min], e.pq[i]
+		i = min
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the queue's spare capacity never pins packets or closures.
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{}
+	e.pq = e.pq[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// dispatch runs one event.
+func (e *Engine) dispatch(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evDeliver:
+		if ev.hop != nil {
+			ev.hop.Send(ev.pkt)
+		} else {
+			e.FreePacket(ev.pkt)
+		}
+	default:
+		ev.h.handle(ev.kind, ev.arg)
+	}
+}
+
 // Run processes events until the queue drains or simulation time exceeds
 // until. It returns the number of events processed.
 func (e *Engine) Run(until time.Duration) int {
 	processed := 0
-	for e.pq.Len() > 0 {
-		ev := heap.Pop(&e.pq).(event)
-		if ev.at > until {
-			// Put it back for a later Run and stop.
-			heap.Push(&e.pq, ev)
+	for len(e.pq) > 0 {
+		if e.pq[0].at > until {
+			// Leave it for a later Run and stop.
 			e.now = until
 			return processed
 		}
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.dispatch(&ev)
 		processed++
 	}
 	if e.now < until {
 		e.now = until
 	}
+	// The queue drained: the simulation is over or quiescent, so hand the
+	// backing arrays to the cross-engine pools. pop zeroed every vacated
+	// slot, and a freed packet is by contract unreferenced, so neither
+	// buffer pins live objects. A later push/AllocPacket simply re-acquires.
+	if cap(e.pq) > 0 {
+		buf := e.pq[:0]
+		e.pq = nil
+		pqPool.Put(&buf)
+	}
+	if len(e.free) > 0 {
+		fl := e.free
+		e.free = nil
+		freelistPool.Put(&fl)
+	}
 	return processed
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Release hands the engine's backing arrays to the cross-engine pools and
+// recycles the packets of still-pending deliveries. Trial runners stop at
+// a fixed horizon with events (churn, background, retransmission timers)
+// still queued, so Run's drained-queue recycling never fires for them;
+// calling Release when a trial's results have been read closes that gap.
+// The engine must not be used again afterwards.
+func (e *Engine) Release() {
+	for i := range e.pq {
+		if e.pq[i].kind == evDeliver && e.pq[i].pkt != nil {
+			e.FreePacket(e.pq[i].pkt)
+		}
+		e.pq[i] = event{}
+	}
+	if cap(e.pq) > 0 {
+		buf := e.pq[:0]
+		e.pq = nil
+		pqPool.Put(&buf)
+	}
+	if len(e.free) > 0 {
+		fl := e.free
+		e.free = nil
+		freelistPool.Put(&fl)
+	}
+}
+
+// AllocPacket returns a zeroed packet, recycling one from the freelist
+// when available. Sources inside the simulation must allocate through this
+// so steady-state traffic reuses a bounded working set instead of
+// allocating per send.
+func (e *Engine) AllocPacket() *Packet {
+	e.allocCount++
+	if e.free == nil {
+		// First allocation: adopt a recycled freelist (packets and all)
+		// from an earlier engine, or start a fresh one.
+		if fl, _ := freelistPool.Get().(*[]*Packet); fl != nil {
+			e.free = *fl
+		} else {
+			e.free = make([]*Packet, 0, 8)
+		}
+	}
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.reuseCount++
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket returns a packet to the freelist. Only the hop that ends a
+// packet's life may call it — the terminal receiver, a drop site (after
+// the drop hook returns), or a discarding join. Callers must not retain
+// the pointer afterwards: the next AllocPacket may hand it out again. A
+// double free panics.
+func (e *Engine) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.recycled {
+		panic("netsim: double free of *Packet (freed packet reached a second end-of-life hop)")
+	}
+	p.recycled = true
+	e.free = append(e.free, p)
+}

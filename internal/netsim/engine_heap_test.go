@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// drainHeap pops every event and returns the observed (at, seq) order.
+func drainHeap(eng *Engine) []event {
+	out := make([]event, 0, len(eng.pq))
+	for len(eng.pq) > 0 {
+		out = append(out, eng.pop())
+	}
+	return out
+}
+
+// TestHeapPopOrderMatchesSort pins the 4-ary heap's pop order against the
+// reference total order — sort by (at, seq) — on random workloads.
+func TestHeapPopOrderMatchesSort(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var eng Engine
+		type key struct {
+			at  time.Duration
+			seq uint64
+		}
+		want := make([]key, 0, len(raw))
+		for _, v := range raw {
+			at := time.Duration(v) * time.Microsecond
+			eng.push(at, event{kind: evFunc, fn: func() {}})
+			want = append(want, key{at: at, seq: eng.seq})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		got := drainHeap(&eng)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].at != want[i].at || got[i].seq != want[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapInterleavedPushPop exercises mixed push/pop sequences (the
+// steady-state shape of a simulation run) against a linear-scan reference.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var eng Engine
+	type key struct {
+		at  time.Duration
+		seq uint64
+	}
+	var live []key
+	popMin := func() key {
+		mi := 0
+		for i, k := range live {
+			if k.at < live[mi].at || (k.at == live[mi].at && k.seq < live[mi].seq) {
+				mi = i
+			}
+		}
+		k := live[mi]
+		live = append(live[:mi], live[mi+1:]...)
+		return k
+	}
+	for step := 0; step < 5000; step++ {
+		if len(eng.pq) == 0 || rng.Intn(3) > 0 {
+			at := time.Duration(rng.Intn(1000)) * time.Millisecond
+			eng.push(at, event{kind: evFunc, fn: func() {}})
+			live = append(live, key{at: at, seq: eng.seq})
+		} else {
+			want := popMin()
+			got := eng.pop()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("step %d: popped (%v, %d), want (%v, %d)",
+					step, got.at, got.seq, want.at, want.seq)
+			}
+		}
+	}
+	for _, got := range drainHeap(&eng) {
+		want := popMin()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: popped (%v, %d), want (%v, %d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+}
+
+// FuzzHeapPopOrder feeds arbitrary byte strings as event-time workloads
+// and checks the pop order is the reference (at, seq) sort.
+func FuzzHeapPopOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{5, 3, 3, 1, 255, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var eng Engine
+		for _, b := range data {
+			eng.push(time.Duration(b)*time.Microsecond, event{kind: evFunc, fn: func() {}})
+		}
+		var prev event
+		for i, got := range drainHeap(&eng) {
+			if i > 0 && !eventLess(&prev, &got) {
+				t.Fatalf("pop %d: (%v, %d) not after (%v, %d)",
+					i, got.at, got.seq, prev.at, prev.seq)
+			}
+			prev = got
+		}
+	})
+}

@@ -14,29 +14,38 @@ type Link struct {
 	// Delay is the propagation delay.
 	Delay time.Duration
 	// QueueLimit bounds the queue in bytes (excluding the packet being
-	// transmitted); 0 means a generous default of 250 ms worth of Rate.
+	// transmitted); 0 means a generous default of 250 ms worth of Rate,
+	// applied on first Send (so struct-literal links get it too).
 	QueueLimit int
 	// Next receives packets after serialization + propagation.
 	Next Hop
-	// OnDrop, when set, observes tail drops.
+	// OnDrop, when set, observes tail drops. The packet is recycled when
+	// the hook returns; hooks must not retain it.
 	OnDrop DropHook
 
 	eng *Engine
 
-	queued     []*Packet
+	queued     ring[*Packet]
 	queuedSize int
 	busy       bool
+	qlimSet    bool // QueueLimit default applied (or explicitly configured)
 
 	// Counters.
 	Forwarded int64
 	Dropped   int64
 }
 
+// defaultQueueLimit is the 250 ms-of-rate buffer a zero QueueLimit stands
+// for.
+func defaultQueueLimit(rate float64) int {
+	return int(rate / 8 * 0.25)
+}
+
 // NewLink creates a link attached to eng.
 func NewLink(eng *Engine, name string, rate float64, delay time.Duration, next Hop) *Link {
 	l := &Link{Name: name, Rate: rate, Delay: delay, Next: next, eng: eng}
 	if rate > 0 {
-		l.QueueLimit = int(rate / 8 * 0.25) // 250 ms of buffering
+		l.QueueLimit = defaultQueueLimit(rate)
 	}
 	return l
 }
@@ -46,8 +55,17 @@ func (l *Link) Send(pkt *Packet) {
 	if l.Rate <= 0 {
 		// Infinite bandwidth: pure propagation delay.
 		l.Forwarded++
-		l.deliverAfter(pkt, l.Delay)
+		l.eng.AfterDeliver(l.Delay, pkt, l.Next)
 		return
+	}
+	if !l.qlimSet {
+		// A Link built as a struct literal (bypassing NewLink) with a
+		// positive Rate and an unset QueueLimit would otherwise tail-drop
+		// every packet that finds the transmitter busy.
+		l.qlimSet = true
+		if l.QueueLimit == 0 {
+			l.QueueLimit = defaultQueueLimit(l.Rate)
+		}
 	}
 	if !l.busy {
 		l.busy = true
@@ -59,40 +77,37 @@ func (l *Link) Send(pkt *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(pkt, l.Name)
 		}
+		l.eng.FreePacket(pkt)
 		return
 	}
 	pkt.QueuedFor -= l.eng.Now() // completed on dequeue
-	l.queued = append(l.queued, pkt)
+	l.queued.Push(pkt)
 	l.queuedSize += pkt.Size
 }
 
 func (l *Link) transmit(pkt *Packet) {
 	txTime := time.Duration(float64(pkt.Size*8) / l.Rate * float64(time.Second))
 	l.Forwarded++
-	l.deliverAfter(pkt, txTime+l.Delay)
-	l.eng.After(txTime, l.transmitNext)
+	l.eng.AfterDeliver(txTime+l.Delay, pkt, l.Next)
+	l.eng.afterCall(txTime, l, evLinkTransmitNext, 0)
+}
+
+// handle dispatches the link's interned engine callbacks.
+func (l *Link) handle(kind eventKind, _ uint64) {
+	if kind == evLinkTransmitNext {
+		l.transmitNext()
+	}
 }
 
 func (l *Link) transmitNext() {
-	if len(l.queued) == 0 {
+	if l.queued.Len() == 0 {
 		l.busy = false
 		return
 	}
-	pkt := l.queued[0]
-	copy(l.queued, l.queued[1:])
-	l.queued = l.queued[:len(l.queued)-1]
+	pkt := l.queued.Pop()
 	l.queuedSize -= pkt.Size
 	pkt.QueuedFor += l.eng.Now()
 	l.transmit(pkt)
-}
-
-func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
-	next := l.Next
-	l.eng.After(d, func() {
-		if next != nil {
-			next.Send(pkt)
-		}
-	})
 }
 
 // QueueBytes returns the bytes currently queued (excluding the packet in

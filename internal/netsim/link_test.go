@@ -131,6 +131,36 @@ func TestLinkUtilizationUnderLoad(t *testing.T) {
 	}
 }
 
+// TestLinkStructLiteralQueueLimitDefault: a Link built as a struct literal
+// (bypassing NewLink) with a positive Rate and an unset QueueLimit must get
+// the 250 ms default lazily on first Send — not silently tail-drop every
+// packet that finds the transmitter busy.
+func TestLinkStructLiteralQueueLimitDefault(t *testing.T) {
+	var eng Engine
+	col := &collector{eng: &eng}
+	link := &Link{Name: "lit", Rate: 8e6, Next: col, eng: &eng}
+	eng.Schedule(0, func() {
+		link.Send(&Packet{Seq: 0, Size: 1000}) // transmitting
+		link.Send(&Packet{Seq: 1, Size: 1000}) // busy: must queue, not drop
+	})
+	eng.Run(time.Second)
+	if len(col.pkts) != 2 {
+		t.Fatalf("delivered %d of 2; zero-QueueLimit literal dropped queued packets", len(col.pkts))
+	}
+	if link.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0", link.Dropped)
+	}
+	if want := defaultQueueLimit(8e6); link.QueueLimit != want {
+		t.Errorf("QueueLimit = %d, want lazy default %d", link.QueueLimit, want)
+	}
+	// An explicitly configured limit must survive untouched.
+	strict := &Link{Name: "strict", Rate: 8e6, QueueLimit: 1500, Next: col, eng: &eng}
+	strict.Send(&Packet{Size: 1000})
+	if strict.QueueLimit != 1500 {
+		t.Errorf("explicit QueueLimit overwritten: %d", strict.QueueLimit)
+	}
+}
+
 func TestTapAndDiscard(t *testing.T) {
 	var eng Engine
 	col := &collector{eng: &eng}

@@ -38,6 +38,11 @@ type Packet struct {
 	// QueuedFor accumulates time spent waiting in queues along the path
 	// (ground-truth queueing delay).
 	QueuedFor time.Duration
+
+	// recycled guards the engine freelist against double frees: set by
+	// Engine.FreePacket, cleared when AllocPacket hands the packet out
+	// again.
+	recycled bool
 }
 
 // Hop is an element of a path that accepts packets. Hops form a chain:

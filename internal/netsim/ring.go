@@ -1,0 +1,87 @@
+package netsim
+
+// ring is a growable circular FIFO with power-of-two capacity. It replaces
+// the copy-shift `queued[0]; copy(queued, queued[1:])` dequeues of the hop
+// queues: Push and Pop are O(1), and a drained ring keeps its buffer, so a
+// queue that has reached its working size never allocates again.
+type ring[T any] struct {
+	buf  []T // len(buf) is 0 or a power of two
+	head int // index of the front element
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (r *ring[T]) Len() int { return r.n }
+
+// Push appends v at the back, doubling the buffer when full.
+func (r *ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the front element. The vacated slot is zeroed so
+// the ring's spare capacity never pins pointers. Popping an empty ring
+// panics.
+func (r *ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("netsim: Pop on empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// Front returns the front element without removing it.
+func (r *ring[T]) Front() T { return r.buf[r.head] }
+
+// At returns the i-th element from the front (0 = front).
+func (r *ring[T]) At(i int) T { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *ring[T]) grow() {
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// bitset is a growable bit vector keyed by non-negative sequence numbers —
+// a dense replacement for map[int64]bool where keys are compact and start
+// at zero (a receiver's seen-sequence set): one bit per sequence instead of
+// ~50 bytes of map entry.
+type bitset struct{ words []uint64 }
+
+// get reports whether bit i is set.
+func (b *bitset) get(i int64) bool {
+	w := int(i >> 6)
+	return w < len(b.words) && b.words[w]&(1<<uint(i&63)) != 0
+}
+
+// set sets bit i, growing the vector as needed.
+func (b *bitset) set(i int64) {
+	w := int(i >> 6)
+	if w >= len(b.words) {
+		c := cap(b.words) * 2
+		if c < 16 {
+			c = 16
+		}
+		for c <= w {
+			c *= 2
+		}
+		words := make([]uint64, c)
+		copy(words, b.words)
+		b.words = words
+	}
+	b.words[w] |= 1 << uint(i&63)
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import "testing"
+
+func TestRingFIFOWraparoundAndGrowth(t *testing.T) {
+	var r ring[int]
+	next, expect := 0, 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			r.Push(next)
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			if got := r.Front(); got != expect {
+				t.Fatalf("Front = %d, want %d", got, expect)
+			}
+			if got := r.Pop(); got != expect {
+				t.Fatalf("Pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	// Fill the initial power-of-two buffer, then drive head around the
+	// ring several times so Push wraps past the buffer end.
+	push(8)
+	pop(6)
+	for i := 0; i < 10; i++ { // 10 laps of push-6/pop-6 on a capacity-8 ring
+		push(6)
+		if r.Len() != 8 {
+			t.Fatalf("Len = %d, want 8", r.Len())
+		}
+		pop(6)
+	}
+	// Growth while wrapped: head is mid-buffer; doubling must preserve
+	// FIFO order across the wrap point.
+	push(40)
+	if r.Len() != 42 {
+		t.Fatalf("Len after growth = %d, want 42", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if got := r.At(i); got != expect+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, expect+i)
+		}
+	}
+	pop(42)
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", r.Len())
+	}
+	// A drained ring keeps its buffer and keeps working.
+	push(3)
+	pop(3)
+}
+
+func TestRingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty ring did not panic")
+		}
+	}()
+	var r ring[*Packet]
+	r.Pop()
+}
+
+func TestRingZeroesVacatedSlots(t *testing.T) {
+	var r ring[*Packet]
+	r.Push(&Packet{Seq: 1})
+	r.Push(&Packet{Seq: 2})
+	r.Pop()
+	// The popped slot must not pin the pointer.
+	if r.buf[0] != nil {
+		t.Error("Pop left a live pointer in the vacated slot")
+	}
+}

@@ -115,10 +115,14 @@ func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) 
 	drop := func(pkt *Packet, where string) { s.DropLog[where]++ }
 
 	// Common chain, built back to front: demux ← common link ← limiter.
+	// Unregistered flows (the background aggregate) end their packets'
+	// lives here; registered receivers recycle their own.
 	demux := HopFunc(func(pkt *Packet) {
 		if rcv, ok := s.receivers[pkt.Flow]; ok {
 			rcv.Send(pkt)
+			return
 		}
+		eng.FreePacket(pkt)
 	})
 	s.CommonLink = NewLink(eng, "link_c", common.Rate, common.Delay, demux)
 	s.CommonLink.OnDrop = drop
@@ -135,9 +139,11 @@ func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) 
 		s.CommonPF.OnDrop = drop
 		commonHead = s.CommonPF
 	}
-	// The join discards path-local background so it never crosses l_c.
+	// The join discards (and recycles) path-local background so it never
+	// crosses l_c.
 	join := HopFunc(func(pkt *Packet) {
 		if pkt.Flow < backgroundFlowID {
+			eng.FreePacket(pkt)
 			return
 		}
 		commonHead.Send(pkt)

@@ -25,7 +25,8 @@ type RateLimiter struct {
 	QueueLimit int
 	// Next receives forwarded packets.
 	Next Hop
-	// OnDrop observes policer drops.
+	// OnDrop observes policer drops. The packet is recycled when the hook
+	// returns; hooks must not retain it.
 	OnDrop DropHook
 	// Classify overrides the per-packet class decision; nil uses
 	// pkt.Class. Real deployments decide by DPI on the SNI — in the
@@ -39,7 +40,7 @@ type RateLimiter struct {
 
 	tokens     float64 // bytes
 	lastRefill time.Duration
-	queued     []*Packet
+	queued     ring[*Packet]
 	queuedSize int
 	draining   bool
 
@@ -81,30 +82,33 @@ func (r *RateLimiter) Send(pkt *Packet) {
 		// A packet larger than the bucket can never earn enough tokens;
 		// it would head-of-line-block the queue forever. tc-tbf requires
 		// burst ≥ MTU for the same reason — drop and count it.
-		r.Dropped++
-		if r.OnDrop != nil {
-			r.OnDrop(pkt, r.Name)
-		}
+		r.drop(pkt)
 		return
 	}
 	r.refill()
-	if len(r.queued) == 0 && r.tokens >= float64(pkt.Size) {
+	if r.queued.Len() == 0 && r.tokens >= float64(pkt.Size) {
 		r.tokens -= float64(pkt.Size)
 		r.Forwarded++
 		r.forward(pkt)
 		return
 	}
 	if r.queuedSize+pkt.Size > r.QueueLimit {
-		r.Dropped++
-		if r.OnDrop != nil {
-			r.OnDrop(pkt, r.Name)
-		}
+		r.drop(pkt)
 		return
 	}
 	pkt.QueuedFor -= r.eng.Now()
-	r.queued = append(r.queued, pkt)
+	r.queued.Push(pkt)
 	r.queuedSize += pkt.Size
 	r.scheduleDrain()
+}
+
+// drop counts, reports, and recycles a dropped packet.
+func (r *RateLimiter) drop(pkt *Packet) {
+	r.Dropped++
+	if r.OnDrop != nil {
+		r.OnDrop(pkt, r.Name)
+	}
+	r.eng.FreePacket(pkt)
 }
 
 // refill adds tokens accrued since the last refill, capped at Burst.
@@ -122,11 +126,11 @@ func (r *RateLimiter) refill() {
 // scheduleDrain arranges for the queue head to depart once enough tokens
 // have accumulated.
 func (r *RateLimiter) scheduleDrain() {
-	if r.draining || len(r.queued) == 0 {
+	if r.draining || r.queued.Len() == 0 {
 		return
 	}
 	r.draining = true
-	head := r.queued[0]
+	head := r.queued.Front()
 	need := float64(head.Size) - r.tokens
 	var wait time.Duration
 	if need > 0 && r.Rate > 0 {
@@ -134,24 +138,30 @@ func (r *RateLimiter) scheduleDrain() {
 		// clock, or the drain loop would spin at the current instant.
 		wait = time.Duration(need/(r.Rate/8)*float64(time.Second)) + 1
 	}
-	r.eng.After(wait, r.drain)
+	r.eng.afterCall(wait, r, evTBFDrain, 0)
+}
+
+// handle dispatches the limiter's interned engine callbacks.
+func (r *RateLimiter) handle(kind eventKind, _ uint64) {
+	if kind == evTBFDrain {
+		r.drain()
+	}
 }
 
 func (r *RateLimiter) drain() {
 	r.draining = false
-	if len(r.queued) == 0 {
+	if r.queued.Len() == 0 {
 		return
 	}
 	r.refill()
-	head := r.queued[0]
+	head := r.queued.Front()
 	if r.tokens < float64(head.Size) {
 		// Rounding shortfall: wait for the missing tokens.
 		r.scheduleDrain()
 		return
 	}
 	r.tokens -= float64(head.Size)
-	copy(r.queued, r.queued[1:])
-	r.queued = r.queued[:len(r.queued)-1]
+	r.queued.Pop()
 	r.queuedSize -= head.Size
 	head.QueuedFor += r.eng.Now()
 	r.Forwarded++
@@ -162,7 +172,9 @@ func (r *RateLimiter) drain() {
 func (r *RateLimiter) forward(pkt *Packet) {
 	if r.Next != nil {
 		r.Next.Send(pkt)
+		return
 	}
+	r.eng.FreePacket(pkt) // no next hop: the packet's life ends here
 }
 
 // QueueBytes returns the bytes currently waiting in the TBF queue.

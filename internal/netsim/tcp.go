@@ -86,9 +86,10 @@ type TCPFlow struct {
 	lastAckAt   time.Duration
 	rtoArmed    bool
 	rtoGen      uint64
-	outstanding []*tcpPktState
+	outstanding ring[*tcpPktState]
 	bySeq       map[int64]*tcpPktState
-	rtxQueue    []int64
+	rtxQueue    ring[int64]
+	stPool      []*tcpPktState // recycled packet-state records
 	sendIdx     uint64
 	paceTimer   bool
 	nextPaceAt  time.Duration
@@ -97,8 +98,9 @@ type TCPFlow struct {
 	// BBR estimator state (nil for Reno).
 	bbr *bbrState
 
-	// Receiver state.
-	received map[int64]bool
+	// Receiver state. Sequences are dense from zero, so a bitset replaces
+	// the map: one bit per segment.
+	received bitset
 
 	// Measurement logs.
 	TxLog      []time.Duration // every data transmission (incl. rtx)
@@ -144,7 +146,6 @@ func NewTCPFlow(eng *Engine, id int, cfg TCPConfig, fwd Hop, backDelay time.Dura
 		rto:      time.Second,
 		srtt:     cfg.InitRTTGuess,
 		bySeq:    make(map[int64]*tcpPktState),
-		received: make(map[int64]bool),
 	}
 	if cfg.CC == BBR {
 		f.bbr = &bbrState{}
@@ -160,7 +161,23 @@ func (f *TCPFlow) Receiver() Hop {
 
 // Start schedules the first transmission at time at.
 func (f *TCPFlow) Start(at time.Duration) {
-	f.eng.Schedule(at, f.trySend)
+	f.eng.scheduleCall(at, f, evTCPTrySend, 0)
+}
+
+// handle dispatches the flow's interned engine callbacks (sender timers
+// and the return-path ACKs).
+func (f *TCPFlow) handle(kind eventKind, arg uint64) {
+	switch kind {
+	case evTCPTrySend:
+		f.trySend()
+	case evTCPPace:
+		f.paceTimer = false
+		f.trySend()
+	case evTCPRTO:
+		f.fireRTO(arg)
+	case evTCPAck:
+		f.onAck(int64(arg>>1), int(arg&1))
+	}
 }
 
 // --- Sender ---
@@ -246,10 +263,7 @@ func (f *TCPFlow) schedulePaceAt(at time.Duration) {
 		return
 	}
 	f.paceTimer = true
-	f.eng.Schedule(at, func() {
-		f.paceTimer = false
-		f.trySend()
-	})
+	f.eng.scheduleCall(at, f, evTCPPace, 0)
 }
 
 func (f *TCPFlow) currentRTT() time.Duration {
@@ -262,9 +276,8 @@ func (f *TCPFlow) currentRTT() time.Duration {
 // popRtx pops the next genuine (still-unacked) retransmission, discarding
 // stale entries whose packet has since been acknowledged.
 func (f *TCPFlow) popRtx() *tcpPktState {
-	for len(f.rtxQueue) > 0 {
-		seq := f.rtxQueue[0]
-		f.rtxQueue = f.rtxQueue[1:]
+	for f.rtxQueue.Len() > 0 {
+		seq := f.rtxQueue.Pop()
 		if st := f.bySeq[seq]; st != nil && !st.acked && st.lost {
 			return st
 		}
@@ -289,9 +302,16 @@ func (f *TCPFlow) sendOne() bool {
 		}
 		seq = f.nextSeq
 		f.nextSeq++
-		st = &tcpPktState{seq: seq}
+		if n := len(f.stPool); n > 0 {
+			st = f.stPool[n-1]
+			f.stPool[n-1] = nil
+			f.stPool = f.stPool[:n-1]
+			*st = tcpPktState{seq: seq}
+		} else {
+			st = &tcpPktState{seq: seq}
+		}
 		f.bySeq[seq] = st
-		f.outstanding = append(f.outstanding, st)
+		f.outstanding.Push(st)
 	}
 	now := f.eng.Now()
 	f.sendIdx++
@@ -304,15 +324,14 @@ func (f *TCPFlow) sendOne() bool {
 	f.TxCount++
 	f.TxLog = append(f.TxLog, now)
 
-	pkt := &Packet{
-		Flow:           f.ID,
-		Seq:            seq,
-		Size:           f.cfg.MSS,
-		Class:          f.cfg.Class,
-		SentAt:         now,
-		Retransmission: st.rtx > 0,
-		PolicyKey:      f.cfg.PolicyKey,
-	}
+	pkt := f.eng.AllocPacket()
+	pkt.Flow = f.ID
+	pkt.Seq = seq
+	pkt.Size = f.cfg.MSS
+	pkt.Class = f.cfg.Class
+	pkt.SentAt = now
+	pkt.Retransmission = st.rtx > 0
+	pkt.PolicyKey = f.cfg.PolicyKey
 	f.fwd.Send(pkt)
 
 	// Connection-level retransmission timer (RFC 6298: one timer for the
@@ -325,9 +344,8 @@ func (f *TCPFlow) sendOne() bool {
 
 func (f *TCPFlow) armRTO(in time.Duration) {
 	f.rtoGen++
-	gen := f.rtoGen
 	f.rtoArmed = true
-	f.eng.After(in, func() { f.fireRTO(gen) })
+	f.eng.afterCall(in, f, evTCPRTO, f.rtoGen)
 }
 
 func (f *TCPFlow) fireRTO(gen uint64) {
@@ -337,14 +355,14 @@ func (f *TCPFlow) fireRTO(gen uint64) {
 	f.rtoArmed = false
 	// Find the oldest outstanding (unacked, not already marked lost) packet.
 	var oldest *tcpPktState
-	for _, o := range f.outstanding {
-		if !o.acked && !o.lost {
+	for i := 0; i < f.outstanding.Len(); i++ {
+		if o := f.outstanding.At(i); !o.acked && !o.lost {
 			oldest = o
 			break
 		}
 	}
 	if oldest == nil {
-		if len(f.rtxQueue) > 0 {
+		if f.rtxQueue.Len() > 0 {
 			// Retransmissions pending but nothing in flight; keep watch.
 			f.armRTO(f.rto)
 		}
@@ -365,14 +383,15 @@ func (f *TCPFlow) fireRTO(gen uint64) {
 	}
 	// Genuine timeout: every outstanding packet is presumed lost
 	// (go-back-N), the window collapses, and the backoff doubles once.
-	for _, o := range f.outstanding {
+	for i := 0; i < f.outstanding.Len(); i++ {
+		o := f.outstanding.At(i)
 		if o.acked || o.lost {
 			continue
 		}
 		o.lost = true
 		f.inflight--
 		f.LossLog = append(f.LossLog, now)
-		f.rtxQueue = append(f.rtxQueue, o.seq)
+		f.rtxQueue.Push(o.seq)
 	}
 	if f.bbr == nil {
 		f.ssthresh = math.Max(f.cwnd/2, 2)
@@ -423,7 +442,8 @@ func (f *TCPFlow) onAck(seq int64, echoRtx int) {
 	// unacked has effectively been "passed" — after 3 such passes it is
 	// declared lost (RACK/SACK-style dup threshold).
 	var lossDetected bool
-	for _, o := range f.outstanding {
+	for i := 0; i < f.outstanding.Len(); i++ {
+		o := f.outstanding.At(i)
 		if o.acked || o.lost {
 			continue
 		}
@@ -433,7 +453,7 @@ func (f *TCPFlow) onAck(seq int64, echoRtx int) {
 				o.lost = true
 				f.inflight--
 				f.LossLog = append(f.LossLog, now)
-				f.rtxQueue = append(f.rtxQueue, o.seq)
+				f.rtxQueue.Push(o.seq)
 				lossDetected = true
 			}
 		}
@@ -470,36 +490,37 @@ func (f *TCPFlow) addRTTSample(rtt time.Duration) {
 	}
 }
 
-// compactOutstanding drops fully-acked prefix entries and frees their state.
+// compactOutstanding drops fully-acked prefix entries and recycles their
+// state records. Safe to pool: once a state leaves bySeq, stale rtxQueue
+// entries for its seq can no longer resolve to it.
 func (f *TCPFlow) compactOutstanding() {
-	i := 0
-	for i < len(f.outstanding) && f.outstanding[i].acked {
-		delete(f.bySeq, f.outstanding[i].seq)
-		i++
-	}
-	if i > 0 {
-		f.outstanding = f.outstanding[i:]
+	for f.outstanding.Len() > 0 && f.outstanding.Front().acked {
+		st := f.outstanding.Pop()
+		delete(f.bySeq, st.seq)
+		f.stPool = append(f.stPool, st)
 	}
 }
 
 // --- Receiver ---
 
 // onData handles a data packet arriving at the client and returns an ACK
-// over the fixed-delay return path.
+// over the fixed-delay return path. The data packet's life ends here: the
+// ACK event carries only the (seq, retransmission-echo) pair, packed into
+// the event argument, and the packet itself is recycled.
 func (f *TCPFlow) onData(pkt *Packet) {
 	now := f.eng.Now()
-	if !f.received[pkt.Seq] {
-		f.received[pkt.Seq] = true
+	if !f.received.get(pkt.Seq) {
+		f.received.set(pkt.Seq)
 		f.Delivered = append(f.Delivered, DeliveryEvent{At: now, Bytes: pkt.Size})
 	} else {
 		f.DupDeliver++
 	}
-	seq := pkt.Seq
-	echoRtx := 0
+	ack := uint64(pkt.Seq) << 1
 	if pkt.Retransmission {
-		echoRtx = 1
+		ack |= 1
 	}
-	f.eng.After(f.back, func() { f.onAck(seq, echoRtx) })
+	f.eng.FreePacket(pkt)
+	f.eng.afterCall(f.back, f, evTCPAck, ack)
 }
 
 // --- Derived metrics ---

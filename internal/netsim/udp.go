@@ -42,7 +42,9 @@ func (f *UDPFlow) Receiver() Hop {
 }
 
 // Start schedules the replay of tr beginning at time at. Only
-// ServerToClient packets are transmitted.
+// ServerToClient packets are transmitted. Each transmission is a typed
+// event carrying (seq, size) packed into its argument — no closure and no
+// packet allocation until the moment of send.
 func (f *UDPFlow) Start(tr *trace.Trace, at time.Duration) {
 	seq := int64(0)
 	for i := range tr.Packets {
@@ -50,18 +52,38 @@ func (f *UDPFlow) Start(tr *trace.Trace, at time.Duration) {
 		if p.Dir != trace.ServerToClient {
 			continue
 		}
-		s, size := seq, p.Size
+		// seq in the high 32 bits, size in the low 32 (trace packets are
+		// bounded by the MTU, far below 2^32).
+		f.eng.scheduleCall(at+p.Offset, f, evUDPSend, uint64(seq)<<32|uint64(uint32(p.Size)))
 		seq++
-		f.eng.Schedule(at+p.Offset, func() { f.transmit(s, size) })
 	}
 	f.totalScheduled = seq
+	// The delivery log's final size is bounded by the send count, so size
+	// it once instead of letting append double its way up.
+	if f.Delivered == nil && seq > 0 {
+		f.Delivered = make([]DeliveryEvent, 0, seq)
+	}
+}
+
+// handle dispatches the flow's interned engine callbacks.
+func (f *UDPFlow) handle(kind eventKind, arg uint64) {
+	if kind == evUDPSend {
+		f.transmit(int64(arg>>32), int(uint32(arg)))
+	}
 }
 
 func (f *UDPFlow) transmit(seq int64, size int) {
 	now := f.eng.Now()
 	f.SentCount++
 	f.TxLog = append(f.TxLog, now)
-	f.fwd.Send(&Packet{Flow: f.ID, Seq: seq, Size: size, Class: f.class, SentAt: now, PolicyKey: f.PolicyKey})
+	pkt := f.eng.AllocPacket()
+	pkt.Flow = f.ID
+	pkt.Seq = seq
+	pkt.Size = size
+	pkt.Class = f.class
+	pkt.SentAt = now
+	pkt.PolicyKey = f.PolicyKey
+	f.fwd.Send(pkt)
 }
 
 func (f *UDPFlow) onData(pkt *Packet) {
@@ -76,6 +98,7 @@ func (f *UDPFlow) onData(pkt *Packet) {
 	}
 	f.RecvCount++
 	f.Delivered = append(f.Delivered, DeliveryEvent{At: now, Bytes: pkt.Size})
+	f.eng.FreePacket(pkt) // terminal hop: recycle
 }
 
 // Finish registers tail losses (packets after the last arrival) at time at.

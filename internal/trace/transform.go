@@ -74,6 +74,18 @@ func ExtendTo(tr *Trace, minDur time.Duration) *Trace {
 	if gap <= 0 {
 		gap = time.Millisecond
 	}
+	// Each repetition advances the duration by gap + the base span, so the
+	// repetition count — and the final packet count — is known up front.
+	// Reserve it once instead of letting append double across repetitions
+	// (paper-scale extensions multiply short traces 50-100x).
+	if span := out.Duration(); span+gap > 0 {
+		reps := int64((minDur-span)/(span+gap)) + 1
+		if total := len(out.Packets) + int(reps)*len(base); cap(out.Packets) < total {
+			grown := make([]Packet, len(out.Packets), total)
+			copy(grown, out.Packets)
+			out.Packets = grown
+		}
+	}
 	for out.Duration() < minDur {
 		shift := out.Duration() + gap
 		for _, p := range base {
