@@ -14,6 +14,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,10 +26,58 @@ import (
 // for any width; only the wall clock changes.
 var benchWorkers = flag.Int("workers", 0, "experiment worker-pool width (0 = GOMAXPROCS)")
 
+// benchCache shares one simulation cache across every benchmark in the
+// process (and, with -cache-dir, across processes), e.g.
+// go test -bench=. -cache. Result metrics are identical either way —
+// cached results are bit-for-bit recomputed results — but each benchmark
+// then also reports its cache-hits/cache-misses deltas, which
+// cmd/wehey-bench snapshots alongside ns/op.
+var (
+	benchCache    = flag.Bool("cache", false, "share a simulation cache across benchmarks and report hit/miss metrics")
+	benchCacheDir = flag.String("cache-dir", "", "persist the shared simulation cache under this directory (implies -cache)")
+
+	sharedCacheOnce sync.Once
+	sharedCache     *experiments.SimCache
+)
+
+func benchSimCache(b *testing.B) *experiments.SimCache {
+	sharedCacheOnce.Do(func() {
+		if *benchCacheDir != "" {
+			var err error
+			if sharedCache, err = experiments.NewDiskSimCache(*benchCacheDir); err != nil {
+				b.Fatalf("cache-dir: %v", err)
+			}
+			return
+		}
+		if *benchCache {
+			sharedCache = experiments.NewSimCache()
+		}
+	})
+	return sharedCache
+}
+
+// reportCacheMetrics snapshots the shared cache's counters; the returned
+// closure (run deferred, after the benchmark body) reports the deltas as
+// custom metrics. A no-op when caching is off, so BENCH snapshots taken
+// without -cache carry no cache keys.
+func reportCacheMetrics(b *testing.B) func() {
+	cache := benchSimCache(b)
+	if cache == nil {
+		return func() {}
+	}
+	start := cache.Stats()
+	return func() {
+		end := cache.Stats()
+		b.ReportMetric(float64(end.Hits-start.Hits)/float64(b.N), "cache-hits")
+		b.ReportMetric(float64(end.DiskHits-start.DiskHits)/float64(b.N), "cache-disk-hits")
+		b.ReportMetric(float64(end.Misses-start.Misses)/float64(b.N), "cache-misses")
+	}
+}
+
 // benchCfg keeps iterations fast; the generators default their own trial
 // counts from this.
 func benchCfg() experiments.Config {
-	return experiments.Config{Trials: 2, Seed: 1, Workers: *benchWorkers}
+	return experiments.Config{Trials: 2, Seed: 1, Workers: *benchWorkers, Cache: sharedCache}
 }
 
 // parsePct extracts a numeric percentage like "89.8%" from a table cell.
@@ -63,6 +112,7 @@ func renderAndDiscard(r *experiments.Report) {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table1(benchCfg())
 		renderAndDiscard(r)
@@ -79,12 +129,14 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Table2(benchCfg()))
 	}
 }
 
 func BenchmarkTable3(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table3(benchCfg())
 		renderAndDiscard(r)
@@ -98,6 +150,7 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkTable4(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table4(benchCfg())
 		renderAndDiscard(r)
@@ -110,6 +163,7 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table5(benchCfg())
 		renderAndDiscard(r)
@@ -120,30 +174,35 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkFigure2(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Figure2(benchCfg()))
 	}
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Figure3(benchCfg()))
 	}
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Figure4(benchCfg()))
 	}
 }
 
 func BenchmarkFigure5(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Figure5(benchCfg()))
 	}
 }
 
 func BenchmarkFigure6(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg()
 	cfg.Trials = 1
 	for i := 0; i < b.N; i++ {
@@ -163,18 +222,21 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 func BenchmarkFigure7(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.Figure7(benchCfg()))
 	}
 }
 
 func BenchmarkTopologyYield(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.TopologyYield(benchCfg()))
 	}
 }
 
 func BenchmarkAblationCorrelation(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.AblationCorrelation(cfg))
@@ -182,18 +244,21 @@ func BenchmarkAblationCorrelation(b *testing.B) {
 }
 
 func BenchmarkAblationIntervals(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.AblationIntervals(benchCfg()))
 	}
 }
 
 func BenchmarkAblationVote(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	for i := 0; i < b.N; i++ {
 		renderAndDiscard(experiments.AblationVote(benchCfg()))
 	}
 }
 
 func BenchmarkAblationMWU(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg()
 	cfg.Duration = 10 * time.Second
 	for i := 0; i < b.N; i++ {
@@ -202,6 +267,7 @@ func BenchmarkAblationMWU(b *testing.B) {
 }
 
 func BenchmarkAblationPacing(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg()
 	cfg.Trials = 1
 	for i := 0; i < b.N; i++ {
@@ -210,6 +276,7 @@ func BenchmarkAblationPacing(b *testing.B) {
 }
 
 func BenchmarkExtensionPerFlow(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg() // default 30 s replays: the anti-correlation needs them
 	for i := 0; i < b.N; i++ {
 		r := experiments.ExtensionPerFlow(cfg)
@@ -223,6 +290,7 @@ func BenchmarkExtensionPerFlow(b *testing.B) {
 }
 
 func BenchmarkExtensionBBR(b *testing.B) {
+	defer reportCacheMetrics(b)()
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		r := experiments.ExtensionBBR(cfg)

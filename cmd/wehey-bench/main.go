@@ -8,6 +8,7 @@
 //
 //	wehey-bench -out BENCH_3.json                  # full suite, one iteration each
 //	wehey-bench -bench 'Table1|Figure6' -count 3   # focus run, averaged
+//	wehey-bench -cache -out BENCH_4.json           # shared sim cache; hit/miss metrics per benchmark
 //	go test -run '^$' -bench . -benchmem | wehey-bench -parse -out snap.json
 //
 // The tool shells out to `go test` in the repository root (or parses a
@@ -67,6 +68,8 @@ func main() {
 		out       = flag.String("out", "", "output file (default stdout)")
 		parse     = flag.Bool("parse", false, "parse `go test -bench` output from stdin instead of running")
 		workers   = flag.Int("workers", 0, "experiment worker-pool width forwarded to the bench harness")
+		cache     = flag.Bool("cache", false, "share a simulation cache across benchmarks; hit/miss deltas land in each benchmark's metrics")
+		cacheDir  = flag.String("cache-dir", "", "persist the shared simulation cache under this directory (implies -cache)")
 	)
 	flag.Parse()
 
@@ -80,6 +83,11 @@ func main() {
 			"-count", strconv.Itoa(*count)}
 		if *workers > 0 {
 			args = append(args, "-workers", strconv.Itoa(*workers))
+		}
+		if *cacheDir != "" {
+			args = append(args, "-cache-dir", *cacheDir)
+		} else if *cache {
+			args = append(args, "-cache")
 		}
 		args = append(args, *pkg)
 		argsDesc = "go " + strings.Join(args, " ")

@@ -7,10 +7,18 @@
 //	wehey-experiments -run table1,figure6 -trials 5
 //	wehey-experiments -run all -full        # paper-scale (slow)
 //	wehey-experiments -run figure6 -workers 8
+//	wehey-experiments -run all -cache-dir .simcache   # incremental reruns
 //
 // -workers fans the simulation runs of one experiment out over a worker
 // pool (default: GOMAXPROCS). Seeds derive from each run's identity, not
 // execution order, so the output is byte-identical for every width.
+//
+// -cache memoizes simulations in-process (identical trials across
+// experiments — e.g. the shared ablation pool — simulate once);
+// -cache-dir additionally persists results, so rerunning after an
+// analysis- or report-layer change skips every simulation. Reports are
+// byte-identical with the cache off, cold, or warm; a `cache:` counter
+// line goes to stderr, never into the report stream.
 //
 // -cpuprofile, -memprofile, and -trace write stdlib runtime/pprof and
 // runtime/trace output for paper-scale perf work:
@@ -48,6 +56,8 @@ func realMain() int {
 		full     = flag.Bool("full", false, "paper-scale trial counts (slow)")
 		duration = flag.Duration("duration", 0, "replay duration override (0 = per-experiment default)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); output is identical for any value")
+		useCache = flag.Bool("cache", false, "memoize simulations in-process (single-flight dedup of identical trials)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results under this directory (implies -cache)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a runtime/trace execution trace to this file")
@@ -108,6 +118,15 @@ func realMain() int {
 		Duration: *duration,
 		Workers:  *workers,
 	}
+	if *cacheDir != "" {
+		cache, err := experiments.NewDiskSimCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = cache
+	} else if *useCache {
+		cfg.Cache = experiments.NewSimCache()
+	}
 
 	start := clock.Now()
 	if *run == "all" {
@@ -124,6 +143,11 @@ func realMain() int {
 			}
 			fmt.Println()
 		}
+	}
+	if cfg.Cache != nil {
+		// Stderr, not stdout: the report stream must stay byte-identical
+		// whether the cache is off, cold, or warm.
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cfg.Cache.Stats())
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", clock.Since(start).Round(time.Millisecond))
 	return 0

@@ -37,7 +37,7 @@ func ablationRuns(cfg Config) (fnRuns, fpRuns []SimResult) {
 			}
 		}
 	}
-	all := RunGrid(append(append([]SimSpec(nil), fnSpecs...), fpSpecs...), cfg.workers())
+	all := cfg.Grid(append(append([]SimSpec(nil), fnSpecs...), fpSpecs...))
 	return all[:len(fnSpecs)], all[len(fnSpecs):]
 }
 
@@ -277,7 +277,7 @@ func AblationPacing(cfg Config) *Report {
 		}
 	}
 	fnFlags := ForEach(len(specs), cfg.workers(), func(i int) bool {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
 		return err != nil || !lt.CommonBottleneck
 	})

@@ -53,7 +53,7 @@ func ExtensionBBR(cfg Config) *Report {
 		detects bool
 	}
 	verdicts := ForEach(len(specs), cfg.workers(), func(i int) verdict {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		v := verdict{loss: (res.M1.LossRate() + res.M2.LossRate()) / 2}
 		if lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{}); err == nil && lt.CommonBottleneck {
 			v.detects = true

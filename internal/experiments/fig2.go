@@ -44,7 +44,7 @@ func Figure2(cfg Config) *Report {
 	// other traffic; the aggregate exceeds the single replay's share.
 	collective := func(n int, seed int64) []measure.Throughput {
 		out := make([]measure.Throughput, n)
-		res := RunSim(SimSpec{App: TCPBulkApp, InputFactor: 1.5, BgShare: 0.5,
+		res := cfg.Sim(SimSpec{App: TCPBulkApp, InputFactor: 1.5, BgShare: 0.5,
 			Duration: dur, Seed: seed})
 		if n == 1 {
 			// Single replay through the same kind of bottleneck: rerun with

@@ -22,7 +22,7 @@ func Figure3(cfg Config) *Report {
 		dur = 30 * time.Second // the figure's measurement duration
 	}
 	// Input factor calibrated for ≈4% average loss on the default mix.
-	res := RunSim(SimSpec{
+	res := cfg.Sim(SimSpec{
 		App:         TCPBulkApp,
 		InputFactor: 1.5,
 		BgShare:     0.5,

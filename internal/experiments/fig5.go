@@ -41,7 +41,7 @@ func Figure5(cfg Config) *Report {
 		}
 	}
 	var emuRetrans, emuDelay []float64
-	for _, res := range RunGrid(specs, cfg.workers()) {
+	for _, res := range cfg.Grid(specs) {
 		emuRetrans = append(emuRetrans, (res.RetransRate[0]+res.RetransRate[1])/2*100)
 		emuDelay = append(emuDelay, float64(res.QueueDelay[0]+res.QueueDelay[1])/2/float64(time.Millisecond))
 	}

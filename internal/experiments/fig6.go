@@ -72,7 +72,7 @@ func Figure6(cfg Config) *Report {
 	}
 	type verdict struct{ excluded, fnTrend, fnClassic bool }
 	verdicts := ForEach(len(specs), cfg.workers(), func(i int) verdict {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		// §6.2 exclusion: insignificant throttling (the replay barely lost
 		// anything → WeHe would not have flagged differentiation).
 		if res.M1.LossRate() < 0.005 && res.M2.LossRate() < 0.005 {

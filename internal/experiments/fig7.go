@@ -48,7 +48,7 @@ func Figure7(cfg Config) *Report {
 		ok bool
 	}
 	outcomes := ForEach(len(specs), cfg.workers(), func(i int) outcome {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
 		if err != nil {
 			return outcome{}

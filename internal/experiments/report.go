@@ -167,6 +167,11 @@ type Config struct {
 	// Workers is the simulation worker-pool width (0 = GOMAXPROCS). Any
 	// value produces byte-identical reports; see runner.go.
 	Workers int
+	// Cache, when set, memoizes RunSim across experiments (see cache.go):
+	// identical specs simulate once per process — and once ever, with a
+	// disk-backed cache. nil runs every simulation directly. Reports are
+	// byte-identical with and without a cache.
+	Cache *SimCache
 }
 
 func (c *Config) fill() {

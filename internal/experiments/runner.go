@@ -107,7 +107,8 @@ func ForEach[T any](n, workers int, fn func(i int) T) []T {
 // RunGrid executes every spec through RunSim on a pool of workers
 // goroutines and returns the results in submission order. Seeds must
 // already be set (normally via specSeed), so the output is independent of
-// the worker count.
+// the worker count. This is the uncached path; generators go through
+// Config.Grid, which consults Config.Cache first (see cache.go).
 func RunGrid(specs []SimSpec, workers int) []SimResult {
 	return ForEach(len(specs), workers, func(i int) SimResult {
 		return RunSim(specs[i])

@@ -33,7 +33,7 @@ func fnCellSpecs(base SimSpec, baseSeed int64, experimentID, cellKey string, tri
 // table cell), in block order.
 func fnCounts(cfg Config, specs []SimSpec, cellRuns int) []int {
 	flags := ForEach(len(specs), cfg.workers(), func(i int) bool {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
 		return err != nil || !lt.CommonBottleneck
 	})
@@ -176,7 +176,7 @@ func Table5(cfg Config) *Report {
 		}
 	}
 	fpFlags := ForEach(len(specs), cfg.workers(), func(i int) bool {
-		res := RunSim(specs[i])
+		res := cfg.Sim(specs[i])
 		lt, err := core.LossTrendCorrelation(&res.M1, &res.M2, core.LossTrendConfig{})
 		return err == nil && lt.CommonBottleneck
 	})

@@ -1,0 +1,212 @@
+package measure
+
+// Exact binary codec for measurement values. The JSON Record/Session
+// codec in codec.go is the *interchange* format: human-inspectable, but
+// it rounds times through float64 milliseconds. The encoders here are the
+// *cache* format: every bit of every field round-trips, including float64
+// payloads (via their IEEE-754 bit patterns) and nil-vs-empty slice
+// distinctions, so a decoded value is indistinguishable from the original
+// under reflect.DeepEqual. internal/simcache consumers rely on that
+// exactness for their determinism guarantee.
+//
+// Layout conventions: all integers are little-endian fixed-width;
+// float64s travel as math.Float64bits; slices are a presence byte
+// (0 = nil, 1 = present) followed by a uint64 length and the elements.
+// Decoders consume from the front of the buffer and return the rest, so
+// encoders compose by concatenation.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrTruncated reports a buffer that ended before the value did.
+var ErrTruncated = errors.New("measure: truncated binary value")
+
+// AppendUint64 appends v little-endian.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendInt64 appends v as its two's-complement bit pattern.
+func AppendInt64(b []byte, v int64) []byte {
+	return AppendUint64(b, uint64(v))
+}
+
+// AppendFloat64 appends v's IEEE-754 bit pattern (exact for every value,
+// including negative zero, NaN payloads, and infinities).
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendDurations appends ds with the presence+length prefix.
+func AppendDurations(b []byte, ds []time.Duration) []byte {
+	b = appendSliceHeader(b, ds == nil, len(ds))
+	for _, d := range ds {
+		b = AppendInt64(b, int64(d))
+	}
+	return b
+}
+
+// AppendFloat64s appends xs with the presence+length prefix.
+func AppendFloat64s(b []byte, xs []float64) []byte {
+	b = appendSliceHeader(b, xs == nil, len(xs))
+	for _, v := range xs {
+		b = AppendFloat64(b, v)
+	}
+	return b
+}
+
+// AppendString appends s length-prefixed.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUint64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendSliceHeader(b []byte, isNil bool, n int) []byte {
+	if isNil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return AppendUint64(b, uint64(n))
+}
+
+// DecodeUint64 consumes a uint64 from the front of b.
+func DecodeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// DecodeInt64 consumes an int64.
+func DecodeInt64(b []byte) (int64, []byte, error) {
+	v, rest, err := DecodeUint64(b)
+	return int64(v), rest, err
+}
+
+// DecodeFloat64 consumes a float64 bit pattern.
+func DecodeFloat64(b []byte) (float64, []byte, error) {
+	v, rest, err := DecodeUint64(b)
+	return math.Float64frombits(v), rest, err
+}
+
+// decodeSliceHeader consumes the presence byte and length. elemSize
+// bounds the length claim against the remaining bytes so a corrupt
+// length can't trigger a huge allocation.
+func decodeSliceHeader(b []byte, elemSize int) (n int, present bool, rest []byte, err error) {
+	if len(b) < 1 {
+		return 0, false, nil, ErrTruncated
+	}
+	switch b[0] {
+	case 0:
+		return 0, false, b[1:], nil
+	case 1:
+	default:
+		return 0, false, nil, errors.New("measure: invalid slice presence byte")
+	}
+	v, rest, err := DecodeUint64(b[1:])
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if v > uint64(len(rest)/elemSize) {
+		return 0, false, nil, ErrTruncated
+	}
+	return int(v), true, rest, nil
+}
+
+// DecodeDurations consumes a duration slice.
+func DecodeDurations(b []byte) ([]time.Duration, []byte, error) {
+	n, present, rest, err := decodeSliceHeader(b, 8)
+	if err != nil || !present {
+		return nil, rest, err
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		var v int64
+		if v, rest, err = DecodeInt64(rest); err != nil {
+			return nil, nil, err
+		}
+		out[i] = time.Duration(v)
+	}
+	return out, rest, nil
+}
+
+// DecodeFloat64s consumes a float64 slice.
+func DecodeFloat64s(b []byte) ([]float64, []byte, error) {
+	n, present, rest, err := decodeSliceHeader(b, 8)
+	if err != nil || !present {
+		return nil, rest, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], rest, err = DecodeFloat64(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rest, nil
+}
+
+// DecodeString consumes a length-prefixed string.
+func DecodeString(b []byte) (string, []byte, error) {
+	n, rest, err := DecodeUint64(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, ErrTruncated
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// AppendPathBinary appends the exact encoding of p.
+func AppendPathBinary(b []byte, p *Path) []byte {
+	b = AppendInt64(b, int64(p.RTT))
+	b = AppendInt64(b, int64(p.Duration))
+	b = AppendDurations(b, p.Tx)
+	return AppendDurations(b, p.Loss)
+}
+
+// DecodePathBinary consumes a Path written by AppendPathBinary.
+func DecodePathBinary(b []byte) (Path, []byte, error) {
+	var p Path
+	var rtt, dur int64
+	var err error
+	if rtt, b, err = DecodeInt64(b); err != nil {
+		return p, nil, err
+	}
+	if dur, b, err = DecodeInt64(b); err != nil {
+		return p, nil, err
+	}
+	p.RTT, p.Duration = time.Duration(rtt), time.Duration(dur)
+	if p.Tx, b, err = DecodeDurations(b); err != nil {
+		return p, nil, err
+	}
+	if p.Loss, b, err = DecodeDurations(b); err != nil {
+		return p, nil, err
+	}
+	return p, b, nil
+}
+
+// AppendThroughputBinary appends the exact encoding of t.
+func AppendThroughputBinary(b []byte, t Throughput) []byte {
+	b = AppendInt64(b, int64(t.Interval))
+	return AppendFloat64s(b, t.Samples)
+}
+
+// DecodeThroughputBinary consumes a Throughput written by
+// AppendThroughputBinary.
+func DecodeThroughputBinary(b []byte) (Throughput, []byte, error) {
+	var t Throughput
+	iv, b, err := DecodeInt64(b)
+	if err != nil {
+		return t, nil, err
+	}
+	t.Interval = time.Duration(iv)
+	if t.Samples, b, err = DecodeFloat64s(b); err != nil {
+		return t, nil, err
+	}
+	return t, b, nil
+}

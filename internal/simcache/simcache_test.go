@@ -1,0 +1,282 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stringCodec is the trivial identity codec used by the disk tests.
+var stringCodec = Codec[string]{
+	Encode: func(s string) []byte { return []byte(s) },
+	Decode: func(b []byte) (string, error) { return string(b), nil },
+}
+
+func TestKeyOfSeparatesStampAndSpec(t *testing.T) {
+	a := KeyOf("v1", []byte("spec"))
+	if a != KeyOf("v1", []byte("spec")) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+	for name, other := range map[string]Key{
+		"stamp":          KeyOf("v2", []byte("spec")),
+		"spec":           KeyOf("v1", []byte("spec!")),
+		"boundary shift": KeyOf("v1s", []byte("pec")),
+	} {
+		if other == a {
+			t.Errorf("changing the %s did not change the key", name)
+		}
+	}
+}
+
+// TestSingleFlight is the -race verified dedup guarantee: N concurrent
+// requests for one key run exactly one computation, and everyone gets its
+// value.
+func TestSingleFlight(t *testing.T) {
+	c := New[int]()
+	key := KeyOf("v1", []byte("the one spec"))
+	const goroutines = 32
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	var release sync.WaitGroup
+	release.Add(1)
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			release.Wait() // line everyone up on the same key
+			results[g] = c.Get(key, func() int {
+				computes.Add(1)
+				return 42
+			})
+		}(g)
+	}
+	release.Done()
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d", g, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, goroutines-1)
+	}
+}
+
+func TestMemoryHitAcrossSequentialGets(t *testing.T) {
+	c := New[string]()
+	key := KeyOf("v1", []byte("k"))
+	calls := 0
+	compute := func() string { calls++; return "value" }
+	if got := c.Get(key, compute); got != "value" {
+		t.Fatalf("first Get = %q", got)
+	}
+	if got := c.Get(key, compute); got != "value" {
+		t.Fatalf("second Get = %q", got)
+	}
+	if calls != 1 {
+		t.Fatalf("compute called %d times", calls)
+	}
+}
+
+func TestDiskRoundTripAcrossProcessLifetimes(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("v1", []byte("spec"))
+
+	cold, err := NewDisk(dir, stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.Get(key, func() string { return "payload" }); got != "payload" {
+		t.Fatalf("cold Get = %q", got)
+	}
+	if st := cold.Stats(); st.Misses != 1 || st.BytesWritten == 0 {
+		t.Fatalf("cold stats = %+v, want 1 miss and a disk write", st)
+	}
+
+	// A fresh cache over the same directory stands in for a new process.
+	warm, err := NewDisk(dir, stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := warm.Get(key, func() string {
+		t.Error("warm Get recomputed despite a valid disk entry")
+		return "recomputed"
+	})
+	if got != "payload" {
+		t.Fatalf("warm Get = %q", got)
+	}
+	if st := warm.Stats(); st.DiskHits != 1 || st.Misses != 0 || st.BytesRead == 0 {
+		t.Fatalf("warm stats = %+v, want 1 disk hit", st)
+	}
+}
+
+// corruptions maps a name to a mutation of a valid on-disk entry. Every
+// one must read as a miss — recompute, never a panic or a wrong value.
+var corruptions = map[string]func([]byte) []byte{
+	"truncated header":  func(b []byte) []byte { return b[:entryHeaderSize/2] },
+	"truncated payload": func(b []byte) []byte { return b[:len(b)-1] },
+	"empty file":        func([]byte) []byte { return nil },
+	"bad magic":         func(b []byte) []byte { b[0] ^= 0xff; return b },
+	"flipped payload":   func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+	"flipped checksum":  func(b []byte) []byte { b[len(entryMagic)+9] ^= 0xff; return b },
+	"extra bytes":       func(b []byte) []byte { return append(b, 0xaa) },
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	for name, corrupt := range corruptions {
+		t.Run(strings.ReplaceAll(name, " ", "-"), func(t *testing.T) {
+			dir := t.TempDir()
+			key := KeyOf("v1", []byte("spec"))
+			seed, err := NewDisk(dir, stringCodec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed.Get(key, func() string { return "truth" })
+
+			path := seed.entryPath(key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			c, err := NewDisk(dir, stringCodec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recomputed := false
+			if got := c.Get(key, func() string { recomputed = true; return "truth" }); got != "truth" {
+				t.Fatalf("Get over corrupt entry = %q", got)
+			}
+			if !recomputed {
+				t.Fatal("corrupt entry served without recompute")
+			}
+			st := c.Stats()
+			if st.Corrupt != 1 || st.DiskHits != 0 || st.Misses != 1 {
+				t.Fatalf("stats = %+v, want corrupt=1 misses=1", st)
+			}
+			// The recompute must have replaced the bad entry with a good one.
+			fresh, err := NewDisk(dir, stringCodec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.Get(key, func() string {
+				t.Error("repaired entry not served from disk")
+				return "truth"
+			})
+		})
+	}
+}
+
+func TestDecodeFailureIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("v1", []byte("spec"))
+	strict := Codec[string]{
+		Encode: stringCodec.Encode,
+		Decode: func(b []byte) (string, error) { return "", fmt.Errorf("schema drift") },
+	}
+	seed, err := NewDisk(dir, stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Get(key, func() string { return "truth" })
+
+	c, err := NewDisk(dir, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(key, func() string { return "truth" }); got != "truth" {
+		t.Fatalf("Get = %q", got)
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the undecodable entry counted corrupt", st)
+	}
+}
+
+// TestVersionStampMismatchIsAMiss pins the invalidation rule: the stamp
+// participates in the key, so entries written under one schema are
+// invisible — a plain miss, not an error — under another.
+func TestVersionStampMismatchIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	spec := []byte("same spec bytes")
+
+	v1, err := NewDisk(dir, stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.Get(KeyOf("schema/v1", spec), func() string { return "old-schema result" })
+
+	v2, err := NewDisk(dir, stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := false
+	got := v2.Get(KeyOf("schema/v2", spec), func() string {
+		recomputed = true
+		return "new-schema result"
+	})
+	if !recomputed || got != "new-schema result" {
+		t.Fatalf("recomputed=%v got=%q: v2 must not see v1 entries", recomputed, got)
+	}
+	if st := v2.Stats(); st.DiskHits != 0 || st.Corrupt != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want a clean miss", st)
+	}
+}
+
+// TestPanickedLeaderReleasesWaiters: a panicking compute must not wedge
+// concurrent waiters on the same key, and a retry must succeed.
+func TestPanickedLeaderReleasesWaiters(t *testing.T) {
+	c := New[int]()
+	key := KeyOf("v1", []byte("k"))
+
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		c.Get(key, func() int {
+			close(leaderStarted)
+			<-release
+			panic("simulated compute failure")
+		})
+	}()
+
+	<-leaderStarted
+	go func() {
+		// This waiter blocks on the leader's flight, observes the failure,
+		// and becomes the new leader.
+		done <- c.Get(key, func() int { return 7 })
+	}()
+	close(release)
+	if got := <-done; got != 7 {
+		t.Fatalf("waiter after failed leader got %d", got)
+	}
+}
+
+func TestEntryPathFansOut(t *testing.T) {
+	c, err := NewDisk(t.TempDir(), stringCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("v1", []byte("x"))
+	p := c.entryPath(k)
+	sub := filepath.Base(filepath.Dir(p))
+	if len(sub) != 2 || !strings.HasPrefix(filepath.Base(p), k.String()[2:]) {
+		t.Fatalf("unexpected entry path layout: %s", p)
+	}
+}

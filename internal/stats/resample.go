@@ -10,6 +10,11 @@ import (
 // same purpose and for confidence intervals in the experiment harness.
 func Bootstrap(rng *rand.Rand, xs []float64, iters int, stat func([]float64) float64) []float64 {
 	n := len(xs)
+	if n == 0 || iters <= 0 {
+		// Nothing to resample: an empty sample set, not a panic in
+		// rng.Intn(0) (and not iters evaluations of stat on no data).
+		return nil
+	}
 	out := make([]float64, iters)
 	buf := make([]float64, n)
 	for i := range out {
@@ -25,6 +30,11 @@ func Bootstrap(rng *rand.Rand, xs []float64, iters int, stat func([]float64) flo
 // at the given confidence level (e.g. 0.95) for stat over xs.
 func BootstrapCI(rng *rand.Rand, xs []float64, iters int, level float64, stat func([]float64) float64) (lo, hi float64) {
 	samples := Bootstrap(rng, xs, iters, stat)
+	if len(samples) == 0 {
+		// Quantile of nothing is NaN; report a degenerate (0, 0) interval
+		// so empty inputs stay NaN-free for downstream arithmetic.
+		return 0, 0
+	}
 	alpha := (1 - level) / 2
 	return Quantile(samples, alpha), Quantile(samples, 1-alpha)
 }
@@ -33,6 +43,10 @@ func BootstrapCI(rng *rand.Rand, xs []float64, iters int, level float64, stat fu
 // element i is stat(xs with xs[i] removed).
 func Jackknife(xs []float64, stat func([]float64) float64) []float64 {
 	n := len(xs)
+	if n == 0 {
+		// make([]float64, 0, n-1) below would panic on a negative cap.
+		return nil
+	}
 	out := make([]float64, n)
 	buf := make([]float64, 0, n-1)
 	for i := range xs {

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+// Regression tests for the empty-input panics: Bootstrap/BootstrapCI used
+// to call rng.Intn(0) on empty samples, and Jackknife built a buffer with
+// negative capacity (make([]float64, 0, -1)).
+
+func TestBootstrapEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Bootstrap(rng, nil, 100, mean); len(got) != 0 {
+		t.Errorf("Bootstrap(nil) returned %d samples, want none", len(got))
+	}
+	if got := Bootstrap(rng, []float64{}, 100, mean); len(got) != 0 {
+		t.Errorf("Bootstrap(empty) returned %d samples, want none", len(got))
+	}
+	if got := Bootstrap(rng, []float64{1, 2, 3}, -1, mean); len(got) != 0 {
+		t.Errorf("Bootstrap(iters=-1) returned %d samples, want none", len(got))
+	}
+}
+
+func TestBootstrapCIEmptyInputNaNFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lo, hi := BootstrapCI(rng, nil, 200, 0.95, mean)
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("BootstrapCI(nil) = (%v, %v), want NaN-free", lo, hi)
+	}
+	if lo != 0 || hi != 0 {
+		t.Errorf("BootstrapCI(nil) = (%v, %v), want the degenerate (0, 0)", lo, hi)
+	}
+}
+
+func TestJackknifeEmptyInput(t *testing.T) {
+	if got := Jackknife(nil, mean); len(got) != 0 {
+		t.Errorf("Jackknife(nil) returned %d estimates, want none", len(got))
+	}
+	if got := Jackknife([]float64{}, mean); len(got) != 0 {
+		t.Errorf("Jackknife(empty) returned %d estimates, want none", len(got))
+	}
+}
+
+func TestJackknifeSingleton(t *testing.T) {
+	// One observation: the single leave-one-out set is empty; stat sees it.
+	got := Jackknife([]float64{5}, func(xs []float64) float64 {
+		if len(xs) != 0 {
+			t.Errorf("leave-one-out set has %d elements, want 0", len(xs))
+		}
+		return 42
+	})
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("Jackknife singleton = %v, want [42]", got)
+	}
+}
+
+// TestResampleStillWorks pins the untouched happy path.
+func TestResampleStillWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() + 10
+	}
+	samples := Bootstrap(rng, xs, 500, mean)
+	if len(samples) != 500 {
+		t.Fatalf("got %d bootstrap samples", len(samples))
+	}
+	lo, hi := BootstrapCI(rng, xs, 500, 0.95, mean)
+	if !(lo < 10 && 10 < hi) || math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Errorf("95%% CI (%v, %v) does not cover the true mean", lo, hi)
+	}
+	jk := Jackknife(xs, mean)
+	if len(jk) != len(xs) {
+		t.Fatalf("got %d jackknife estimates", len(jk))
+	}
+	for _, v := range jk {
+		if math.Abs(v-10) > 1 {
+			t.Errorf("leave-one-out mean %v implausibly far from 10", v)
+		}
+	}
+}
