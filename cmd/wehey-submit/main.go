@@ -1,0 +1,140 @@
+// Command wehey-submit is the operator client for wehey-serve.
+//
+// Usage:
+//
+//	wehey-submit -server http://127.0.0.1:9400 submit -backend sim -seed 7
+//	wehey-submit -server http://127.0.0.1:9400 submit -backend testbed -pair A -wait
+//	wehey-submit -server http://127.0.0.1:9400 get j000001
+//	wehey-submit -server http://127.0.0.1:9400 wait j000001
+//	wehey-submit -server http://127.0.0.1:9400 cancel j000001
+//	wehey-submit -server http://127.0.0.1:9400 list
+//	wehey-submit -server http://127.0.0.1:9400 metrics
+//
+// submit prints the assigned job ID on the first line (scripting-friendly);
+// with -wait it polls until the job is terminal and exits non-zero unless
+// the job is done.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/service"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:9400", "wehey-serve base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &service.Client{BaseURL: *server}
+	ctx := context.Background()
+
+	switch args[0] {
+	case "submit":
+		submit(ctx, c, args[1:])
+	case "get":
+		needID(args)
+		job, err := c.Job(ctx, args[1])
+		fatalIf(err)
+		printJSON(job)
+	case "wait":
+		needID(args)
+		job, err := c.Await(ctx, args[1], 0)
+		fatalIf(err)
+		printJSON(job)
+		exitForState(job)
+	case "cancel":
+		needID(args)
+		job, err := c.Cancel(ctx, args[1])
+		fatalIf(err)
+		printJSON(job)
+	case "list":
+		jobs, err := c.Jobs(ctx)
+		fatalIf(err)
+		printJSON(jobs)
+	case "metrics":
+		m, err := c.Metrics(ctx)
+		fatalIf(err)
+		printJSON(m)
+	default:
+		usage()
+	}
+}
+
+func submit(ctx context.Context, c *service.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		backend  = fs.String("backend", service.BackendSim, "sim | testbed")
+		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
+		pair     = fs.String("pair", "", "server pair the job occupies (jobs sharing a pair serialize)")
+		seed     = fs.Int64("seed", 1, "job seed (identical sim specs share a cache entry)")
+		deadline = fs.Duration("deadline", 0, "per-attempt deadline (0 = server default)")
+		attempts = fs.Int("attempts", 0, "max attempts (0 = server default)")
+		app      = fs.String("app", "", "application trace (default per backend)")
+		duration = fs.Duration("duration", 0, "replay duration (0 = backend default)")
+		wait     = fs.Bool("wait", false, "poll until the job is terminal")
+	)
+	fs.Parse(args) //lint:ignore errcheck ExitOnError: Parse never returns an error
+
+	spec := service.Spec{
+		Backend:     *backend,
+		Priority:    *priority,
+		ServerPair:  *pair,
+		Seed:        *seed,
+		Deadline:    *deadline,
+		MaxAttempts: *attempts,
+	}
+	switch *backend {
+	case service.BackendSim:
+		spec.Sim = &service.SimJob{App: *app, Duration: *duration}
+	case service.BackendTestbed:
+		spec.Testbed = &service.TestbedJob{App: *app, Duration: *duration}
+	}
+	job, err := c.Submit(ctx, spec)
+	fatalIf(err)
+	fmt.Println(job.ID)
+	if !*wait {
+		return
+	}
+	job, err = c.Await(ctx, job.ID, 250*time.Millisecond)
+	fatalIf(err)
+	printJSON(job)
+	exitForState(job)
+}
+
+func exitForState(job service.Job) {
+	if job.State != service.StateDone {
+		os.Exit(1)
+	}
+}
+
+func needID(args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //lint:ignore errcheck stdout write failures have no recovery path here
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wehey-submit [-server URL] {submit|get|wait|cancel|list|metrics} ...")
+	os.Exit(2)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wehey-submit: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@ func DefaultConfig() *Config {
 			"internal/isp",
 			"internal/measure",
 			"internal/netsim",
+			"internal/service",
 			"internal/stats",
 			"internal/tomo",
 			"internal/topology",

@@ -139,6 +139,26 @@ func TestWalltimeAllowlist(t *testing.T) {
 	runFixtureExpectClean(t, AnalyzerWalltime, "internal/transport", "walltime_allow.go")
 }
 
+// Service layer: internal/service sits inside DetRandScope and outside
+// WalltimeAllow. The sanctioned scheduler patterns — injected clock,
+// per-job seeded jitter — pass both analyzers clean, and the matching
+// violations are caught.
+func TestServiceCleanUnderWalltime(t *testing.T) {
+	runFixtureExpectClean(t, AnalyzerWalltime, "internal/service", "service_clean.go")
+}
+
+func TestServiceCleanUnderDetRand(t *testing.T) {
+	runFixtureExpectClean(t, AnalyzerDetRand, "internal/service", "service_clean.go")
+}
+
+func TestServiceWalltimeViolation(t *testing.T) {
+	runFixture(t, AnalyzerWalltime, "internal/service", "service_walltime.go")
+}
+
+func TestServiceDetRandViolation(t *testing.T) {
+	runFixture(t, AnalyzerDetRand, "internal/service", "service_detrand.go")
+}
+
 func TestMapOrderFixture(t *testing.T) {
 	runFixture(t, AnalyzerMapOrder, "internal/experiments", "maporder.go")
 }

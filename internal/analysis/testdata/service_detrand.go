@@ -1,0 +1,17 @@
+// Fixture for the service-layer detrand gate, checked as if under
+// internal/service: retry jitter must come from the per-job seeded
+// generator, never the global source or a wall-clock seed.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitterViolation(base time.Duration) time.Duration {
+	return time.Duration(float64(base) * (0.5 + rand.Float64())) // want "global rand.Float64"
+}
+
+func seedViolation() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

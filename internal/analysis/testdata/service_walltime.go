@@ -1,0 +1,14 @@
+// Fixture for the service-layer walltime gate, checked as if under
+// internal/service: the scheduler is NOT in WalltimeAllow, so a stray
+// wall-clock read in scheduling code is a build-gating finding.
+package fixture
+
+import "time"
+
+func retryAtViolation(backoff time.Duration) time.Time {
+	return time.Now().Add(backoff) // want "wall-clock read time.Now"
+}
+
+func queueLatencyViolation(enqueued time.Time) time.Duration {
+	return time.Since(enqueued) // want "wall-clock read time.Since"
+}

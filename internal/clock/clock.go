@@ -4,12 +4,174 @@
 // that only need elapsed-time logging import this package instead of
 // calling time.Now directly, which keeps the walltime analyzer's invariant
 // sharp: any other wall-clock read in the module is a finding.
+//
+// Long-running components (internal/service) take a Clock value instead of
+// the package-level helpers, so their tests substitute a Manual clock and
+// run scheduler/backoff logic instantly and deterministically.
 package clock
 
-import "time"
+import (
+	"sort"
+	"sync"
+	"time"
+)
 
 // Now returns the current wall-clock time.
 func Now() time.Time { return time.Now() }
 
 // Since returns the wall-clock time elapsed since t.
 func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Clock abstracts time for components that must be testable without real
+// waiting: reading the current time and arming one-shot timers.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// NewTimer returns a timer that fires once, d from now. A
+	// non-positive d fires immediately (on the System clock, as soon as
+	// the runtime schedules it; on a Manual clock, on the next Advance
+	// of zero or more).
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a one-shot timer armed through a Clock.
+type Timer interface {
+	// C returns the channel the fire time is delivered on. The channel
+	// has capacity 1; a fired timer never blocks the clock.
+	C() <-chan time.Time
+	// Stop disarms the timer, reporting whether it was still pending.
+	// After Stop returns false the value may already be in C.
+	Stop() bool
+}
+
+// System is the real-time Clock backed by package time.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                  { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (systemClock) NewTimer(d time.Duration) Timer  { return systemTimer{time.NewTimer(d)} }
+
+type systemTimer struct{ t *time.Timer }
+
+func (s systemTimer) C() <-chan time.Time { return s.t.C }
+func (s systemTimer) Stop() bool          { return s.t.Stop() }
+
+// Manual is a fake Clock driven explicitly by tests: time only moves when
+// Advance or Set is called, and pending timers fire synchronously inside
+// that call, in deadline order. The zero value is not usable; construct
+// with NewManual.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+// NewManual returns a Manual clock whose current time is start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the manual clock's current time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since returns the manual-clock time elapsed since t.
+func (m *Manual) Since(t time.Time) time.Duration {
+	return m.Now().Sub(t)
+}
+
+// NewTimer arms a one-shot timer d from the manual clock's current time.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	m.mu.Lock()
+	t := &manualTimer{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	m.timers = append(m.timers, t)
+	m.mu.Unlock()
+	m.fireDue()
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order. d must be non-negative.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: Manual.Advance with negative duration")
+	}
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	m.mu.Unlock()
+	m.fireDue()
+}
+
+// Set jumps the clock to t (which must not be earlier than the current
+// time) and fires every timer due by then.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	if t.Before(m.now) {
+		m.mu.Unlock()
+		panic("clock: Manual.Set moving time backwards")
+	}
+	m.now = t
+	m.mu.Unlock()
+	m.fireDue()
+}
+
+// fireDue delivers to all timers whose deadline has passed, earliest
+// first, and compacts them out of the pending list.
+func (m *Manual) fireDue() {
+	m.mu.Lock()
+	var due []*manualTimer
+	rest := m.timers[:0]
+	for _, t := range m.timers {
+		if !t.deadline.After(m.now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	m.timers = rest
+	now := m.now
+	m.mu.Unlock()
+	sort.SliceStable(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, t := range due {
+		t.fire(now)
+	}
+}
+
+type manualTimer struct {
+	deadline time.Time
+	ch       chan time.Time
+
+	mu   sync.Mutex
+	dead bool // stopped or fired: no future delivery
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+func (t *manualTimer) fire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return
+	}
+	t.dead = true
+	t.ch <- now // capacity 1, never delivered twice
+}
+
+// Stop disarms the timer, reporting whether it was still pending.
+func (t *manualTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return false
+	}
+	t.dead = true
+	// Leave it in the clock's list; fire() on a dead timer is a no-op.
+	return true
+}

@@ -1,0 +1,119 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", m.Now(), start)
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Since(start); got != 3*time.Second {
+		t.Fatalf("Since(start) = %v, want 3s", got)
+	}
+}
+
+func TestManualTimerFiresOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(5 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	m.Advance(4 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case at := <-tm.C():
+		if !at.Equal(time.Unix(5, 0)) {
+			t.Fatalf("fire time = %v, want t0+5s", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestManualTimerOrderAcrossOneAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	late := m.NewTimer(2 * time.Second)
+	early := m.NewTimer(1 * time.Second)
+	m.Advance(10 * time.Second)
+	// Both fired inside one Advance; each carries the clock value at
+	// delivery (deadline ordering is about side-effect sequencing, the
+	// delivered value is the post-advance now).
+	for _, tm := range []Timer{early, late} {
+		select {
+		case <-tm.C():
+		default:
+			t.Fatal("timer did not fire")
+		}
+	}
+}
+
+func TestManualTimerStop(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestManualTimerImmediate(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer should fire without an Advance")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestManualSet(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tm := m.NewTimer(30 * time.Second)
+	m.Set(time.Unix(40, 0))
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("Set past the deadline should fire the timer")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set moving time backwards should panic")
+		}
+	}()
+	m.Set(time.Unix(10, 0))
+}
+
+func TestSystemTimer(t *testing.T) {
+	tm := System.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system timer never fired")
+	}
+	if System.Since(System.Now()) < 0 {
+		t.Fatal("system Since went negative")
+	}
+}

@@ -1,0 +1,288 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	wehey "github.com/nal-epfl/wehey"
+	"github.com/nal-epfl/wehey/internal/core"
+	"github.com/nal-epfl/wehey/internal/experiments"
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/simcache"
+	"github.com/nal-epfl/wehey/internal/testbed"
+	"github.com/nal-epfl/wehey/internal/trace"
+)
+
+// Backend executes one job attempt. Run must honor ctx: the scheduler
+// cancels it on operator cancel, per-attempt deadline, and shutdown.
+// Implementations must be safe for concurrent Run calls (the worker pool
+// runs many attempts at once).
+type Backend interface {
+	Run(ctx context.Context, spec Spec) (*Result, error)
+}
+
+// SimBackend runs "sim" jobs: one netsim localization trial through the
+// experiments/simcache path, so identical specs (including the seed)
+// compute once and every repeat is a cache hit — the /metrics
+// cache-hit-through counters make that visible.
+type SimBackend struct {
+	cache *experiments.SimCache
+}
+
+// NewSimBackend wraps the given cache (nil = a fresh in-memory cache).
+func NewSimBackend(cache *experiments.SimCache) *SimBackend {
+	if cache == nil {
+		cache = experiments.NewSimCache()
+	}
+	return &SimBackend{cache: cache}
+}
+
+// CacheStats snapshots the underlying simulation cache counters.
+func (b *SimBackend) CacheStats() simcache.Stats { return b.cache.Stats() }
+
+// Run executes the trial and classifies the topology with the
+// common-bottleneck detector (loss-trend correlation; a sim job has no
+// historical T_diff). The simulation itself is not interruptible — it is
+// a pure in-process computation — so ctx is checked around it: a canceled
+// attempt never reports success.
+func (b *SimBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
+	p := spec.Sim
+	simSpec := experiments.SimSpec{
+		App:         p.App,
+		InputFactor: p.InputFactor,
+		QueueFactor: p.QueueFactor,
+		BgShare:     p.BgShare,
+		Duration:    p.Duration,
+		Seed:        spec.Seed,
+	}
+	if simSpec.App == "" {
+		simSpec.App = experiments.TCPBulkApp
+	}
+	if simSpec.Duration <= 0 {
+		simSpec.Duration = 3 * time.Second
+	}
+	placement := p.Placement
+	switch placement {
+	case "", "common":
+		simSpec.Placement = experiments.LimiterCommon
+		placement = "common"
+	case "noncommon":
+		simSpec.Placement = experiments.LimiterNonCommon
+	default:
+		return nil, fmt.Errorf("service: unknown sim placement %q", p.Placement)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := b.cache.Run(simSpec)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(jobSeed("sim-detect", spec.Seed)))
+	det, err := core.DetectCommonBottleneck(rng,
+		core.DetectorInput{M1: &res.M1, M2: &res.M2}, core.DetectorConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("service: sim detection: %w", err)
+	}
+	return &Result{
+		Backend: BackendSim,
+		// The trial starts from a throttled topology, so WeHe's end-to-end
+		// verdict and the simultaneous confirmation hold by construction.
+		WeHeDetected:   true,
+		Confirmed:      true,
+		LocalizedToISP: det.Evidence.Found(),
+		Evidence:       det.Evidence.String(),
+		LossRates:      res.LossRate,
+		Detail: fmt.Sprintf("sim %s placement=%s loss=%.3f/%.3f",
+			simSpec.App, placement, res.LossRate[0], res.LossRate[1]),
+	}, nil
+}
+
+// TestbedBackend runs "testbed" jobs: a full WeHeY localization session
+// (single replays, simultaneous replays, confirmation, common-bottleneck
+// detection) over real UDP sockets through the in-process differentiating
+// middlebox. Cancellation propagates into every replay via ctx.
+type TestbedBackend struct{}
+
+// Run executes one localization session.
+func (b *TestbedBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
+	p := spec.Testbed
+	cfg := testbedParams{
+		app:   p.App,
+		rate:  p.Rate,
+		delay: p.Delay,
+		dur:   p.Duration,
+	}
+	if cfg.app == "" {
+		cfg.app = "netflix"
+	}
+	if cfg.rate <= 0 {
+		cfg.rate = 3e6
+	}
+	if cfg.delay <= 0 {
+		cfg.delay = 5 * time.Millisecond
+	}
+	if cfg.dur <= 0 {
+		cfg.dur = 500 * time.Millisecond
+	}
+	sess, err := newCtxTestbedSession(ctx, cfg, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	loc := wehey.Localizer{
+		Rand: rand.New(rand.NewSource(jobSeed("testbed-detect", spec.Seed))),
+	}
+	v, err := loc.Localize(sess, nil)
+	if err != nil {
+		// The localizer wraps the replay error; surface a ctx cancel as
+		// such so the scheduler files the attempt correctly.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	res := &Result{
+		Backend:        BackendTestbed,
+		WeHeDetected:   v.WeHeDetected,
+		Confirmed:      v.Confirmed,
+		LocalizedToISP: v.LocalizedToISP,
+		Evidence:       v.Evidence.String(),
+		LossRates:      sess.origSimLossRates(),
+		Detail:         v.String(),
+	}
+	return res, nil
+}
+
+// testbedParams is the filled TestbedJob.
+type testbedParams struct {
+	app   string
+	rate  float64
+	delay time.Duration
+	dur   time.Duration
+}
+
+// ctxTestbedSession is a context-aware sibling of wehey.TestbedSession:
+// the same replay structure (fresh identically-configured middlebox per
+// replay, truly concurrent simultaneous replays), but every replay runs
+// under the attempt's context so cancellation tears the session down
+// promptly instead of waiting out the replay duration.
+type ctxTestbedSession struct {
+	ctx  context.Context
+	cfg  testbedParams
+	orig *trace.Trace
+	inv  *trace.Trace
+
+	mu      sync.Mutex
+	connID  uint32
+	origSim [2]*measure.Path // measurements of the original simultaneous replay
+}
+
+// origSimLossRates reports the two paths' loss rates from the original
+// simultaneous replay (zeros before it ran).
+func (s *ctxTestbedSession) origSimLossRates() [2]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [2]float64
+	for i, m := range s.origSim {
+		if m != nil {
+			out[i] = m.LossRate()
+		}
+	}
+	return out
+}
+
+func newCtxTestbedSession(ctx context.Context, cfg testbedParams, seed int64) (*ctxTestbedSession, error) {
+	tr, err := trace.Generate(cfg.app, rand.New(rand.NewSource(seed)), cfg.dur+time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: testbed session: %w", err)
+	}
+	return &ctxTestbedSession{
+		ctx:  ctx,
+		cfg:  cfg,
+		orig: tr,
+		inv:  trace.BitInvert(tr),
+	}, nil
+}
+
+func (s *ctxTestbedSession) middlebox() *testbed.Middlebox {
+	return testbed.NewMiddlebox(testbed.MiddleboxConfig{
+		Delay: s.cfg.delay,
+		SNIs:  testbed.SNIsForApps(s.cfg.app),
+		Rate:  s.cfg.rate,
+		Burst: int(s.cfg.rate / 8 * (2 * s.cfg.delay).Seconds()),
+	})
+}
+
+func (s *ctxTestbedSession) nextConn() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.connID++
+	return s.connID
+}
+
+func (s *ctxTestbedSession) pick(original bool) *trace.Trace {
+	if original {
+		return s.orig
+	}
+	return s.inv
+}
+
+// SingleReplay implements wehey.ReplaySession on p0.
+func (s *ctxTestbedSession) SingleReplay(original bool) (wehey.PathReplay, error) {
+	mb := s.middlebox()
+	defer mb.Close()
+	res, err := testbed.RunReliableReplay(s.ctx, mb, "p0",
+		s.pick(original), s.cfg.dur, s.nextConn())
+	if err != nil {
+		return wehey.PathReplay{}, err
+	}
+	m := res.Measurements
+	return wehey.PathReplay{Throughput: res.Throughput, Measurements: &m}, nil
+}
+
+// SimultaneousReplay implements wehey.ReplaySession on p1, p2: both
+// replays run concurrently through one shared middlebox (the per-client
+// bottleneck).
+func (s *ctxTestbedSession) SimultaneousReplay(original bool) ([2]wehey.PathReplay, error) {
+	mb := s.middlebox()
+	defer mb.Close()
+	tr := s.pick(original)
+
+	var wg sync.WaitGroup
+	var out [2]wehey.PathReplay
+	errs := [2]error{}
+	for i := 0; i < 2; i++ {
+		i := i
+		name := fmt.Sprintf("p%d", i+1)
+		id := s.nextConn()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := testbed.RunReliableReplay(s.ctx, mb, name, tr, s.cfg.dur, id)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			m := res.Measurements
+			out[i] = wehey.PathReplay{Throughput: res.Throughput, Measurements: &m}
+			if original {
+				s.mu.Lock()
+				s.origSim[i] = &m
+				s.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+var _ wehey.ReplaySession = (*ctxTestbedSession)(nil)

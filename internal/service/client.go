@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
+)
+
+// Client is a small typed client for the admin plane, used by
+// cmd/wehey-submit, the tests, and the CI smoke job.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Clock paces Await polling (default clock.System).
+	Clock clock.Clock
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) clk() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.System
+}
+
+// do performs one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("service client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("service client: %s %s: %s (%s)", method, path, resp.Status, e.Error)
+		}
+		return fmt.Errorf("service client: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Submit posts a spec and returns the admitted job.
+func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/jobs", &spec, &job)
+	return job, err
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var jobs []Job
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &jobs)
+	return jobs, err
+}
+
+// Job fetches one job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &job)
+	return job, err
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &job)
+	return job, err
+}
+
+// Metrics fetches the counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Await polls a job until it reaches a terminal state, the context ends,
+// or the server becomes unreachable. poll <= 0 defaults to 250 ms.
+func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return Job{}, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		t := c.clk().NewTimer(poll)
+		select {
+		case <-t.C():
+		case <-ctx.Done():
+			t.Stop()
+			return job, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newHTTPFixture starts a scheduler (stub + real sim backends) behind an
+// httptest server and returns a client for it.
+func newHTTPFixture(t *testing.T) (*Client, *Scheduler) {
+	t.Helper()
+	s, err := NewScheduler(Options{
+		Workers: 2,
+		Backends: map[string]Backend{
+			"stub":     newStubBackend(),
+			BackendSim: NewSimBackend(nil),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Start()
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}, s
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	c, _ := newHTTPFixture(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	job, err := c.Submit(ctx, stubSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.State == "" {
+		t.Fatalf("submit returned %+v", job)
+	}
+	done, err := c.Await(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %s, want done", done.State)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Errorf("jobs = %+v, want the one submitted job", jobs)
+	}
+
+	if _, err := c.Job(ctx, "j999999"); err == nil {
+		t.Error("fetching an unknown job succeeded")
+	}
+	if _, err := c.Submit(ctx, Spec{}); err == nil {
+		t.Error("submitting an invalid spec succeeded")
+	}
+
+	// Cancel is idempotent on terminal jobs: it reports the final state.
+	got, err := c.Cancel(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Errorf("cancel of done job = %s, want done", got.State)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Done != 1 || m.Submitted != 1 {
+		t.Errorf("metrics = %+v, want done=1 submitted=1", m)
+	}
+}
+
+func TestHTTPMethodRouting(t *testing.T) {
+	c, _ := newHTTPFixture(t)
+	resp, err := c.httpClient().Post(c.BaseURL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPSimJobsHitCache proves the cache hit-through satellite end to
+// end: two identical sim jobs over the admin plane compute one simulation,
+// and /metrics shows the second landing as a cache hit.
+func TestHTTPSimJobsHitCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two (deduped to one) netsim trials")
+	}
+	c, _ := newHTTPFixture(t)
+	ctx := context.Background()
+
+	spec := Spec{
+		Backend: BackendSim,
+		Seed:    11,
+		Sim:     &SimJob{Duration: 500 * time.Millisecond},
+	}
+	for i := 0; i < 2; i++ {
+		job, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := c.Await(ctx, job.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("sim job %d = %s (%s), want done", i, done.State, done.Error)
+		}
+		if done.Result == nil || done.Result.Backend != BackendSim {
+			t.Fatalf("sim job %d result = %+v", i, done.Result)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SimCacheMisses != 1 || m.SimCacheHits != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1 (identical specs dedup)",
+			m.SimCacheHits, m.SimCacheMisses)
+	}
+	if m.Done != 2 {
+		t.Errorf("done = %d, want 2", m.Done)
+	}
+}
+
+func TestClientAwaitHonorsContext(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{})
+	defer close(b.block)
+	s, err := NewScheduler(Options{Workers: 1, Backends: map[string]Backend{"stub": b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Start()
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	c := &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+
+	job, err := c.Submit(context.Background(), stubSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Await(ctx, job.ID, 5*time.Millisecond); err == nil {
+		t.Error("Await returned nil for a never-finishing job with an expiring context")
+	}
+}

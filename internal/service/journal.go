@@ -1,0 +1,215 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The journal is the scheduler's crash-safety layer: an append-only file
+// of checksummed, length-prefixed records (the internal/simcache on-disk
+// conventions — an 8-byte magic doubling as the format version, 8-byte LE
+// payload length, the payload's SHA-256, then the payload). Submissions
+// and terminal transitions are the only journaled events; running state
+// is reconstructed by re-queuing every non-terminal job on recovery,
+// which is exactly the resume-once semantics a restart needs: a job with
+// a terminal record never runs again, a job without one runs again
+// exactly once.
+//
+// Recovery tolerates a torn tail (the process died mid-append): framing
+// stops at the first malformed record, the tail is dropped and counted,
+// and the file is compacted — rewritten through a temp file and an atomic
+// rename — so the next append lands on a clean end of file.
+
+// journalMagic identifies (and versions) the journal file format.
+const journalMagic = "WHYJRNL1"
+
+// recordHeaderSize frames each record: length + checksum.
+const recordHeaderSize = 8 + sha256.Size
+
+// recOp enumerates journaled events.
+type recOp string
+
+const (
+	recSubmit recOp = "submit"
+	recDone   recOp = "done"
+	recFail   recOp = "fail"
+	recCancel recOp = "cancel"
+)
+
+// record is one journal entry (JSON payload inside the binary framing).
+type record struct {
+	Op     recOp   `json:"op"`
+	ID     string  `json:"id"`
+	Seq    uint64  `json:"seq,omitempty"`
+	Spec   *Spec   `json:"spec,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Recovery summarizes what opening a journal found.
+type Recovery struct {
+	// Records are the valid records in append order.
+	Records []record
+	// DroppedBytes counts torn-tail bytes discarded (0 = clean file).
+	DroppedBytes int
+	// Rewritten reports that the file was compacted (torn tail or
+	// unreadable head) via temp-file + atomic rename.
+	Rewritten bool
+}
+
+// Journal is an open, append-position-clean campaign journal.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if missing) the journal at path, validates
+// every record, repairs a torn tail, and returns the surviving records.
+func OpenJournal(path string) (*Journal, Recovery, error) {
+	var rec Recovery
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, rec, fmt.Errorf("service: journal dir: %w", err)
+		}
+		raw = nil
+	case err != nil:
+		return nil, rec, fmt.Errorf("service: read journal: %w", err)
+	}
+
+	if len(raw) > 0 {
+		if len(raw) < len(journalMagic) || string(raw[:len(journalMagic)]) != journalMagic {
+			// Unrecognized head: preserve the evidence, start fresh.
+			rec.Rewritten = true
+			rec.DroppedBytes = len(raw)
+			if err := os.Rename(path, path+".corrupt"); err != nil {
+				return nil, rec, fmt.Errorf("service: quarantine corrupt journal: %w", err)
+			}
+			raw = nil
+		}
+	}
+
+	var good int // bytes of raw known to be well-formed
+	if len(raw) > 0 {
+		good = len(journalMagic)
+		body := raw[good:]
+		for len(body) > 0 {
+			payload, rest, ok := nextRecord(body)
+			if !ok {
+				break
+			}
+			var r record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				break
+			}
+			rec.Records = append(rec.Records, r)
+			good += len(body) - len(rest)
+			body = rest
+		}
+		rec.DroppedBytes = len(raw) - good
+	}
+
+	if rec.DroppedBytes > 0 || len(raw) == 0 {
+		// Compact: rewrite the valid prefix (or a fresh header) through a
+		// temp file and rename it into place, so the appender never sits
+		// after torn bytes.
+		if err := writeCompacted(path, rec.Records); err != nil {
+			return nil, rec, err
+		}
+		rec.Rewritten = rec.Rewritten || rec.DroppedBytes > 0
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("service: open journal for append: %w", err)
+	}
+	return &Journal{f: f, path: path}, rec, nil
+}
+
+// nextRecord parses one framed record, returning its payload and the rest.
+func nextRecord(b []byte) (payload, rest []byte, ok bool) {
+	if len(b) < recordHeaderSize {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n > uint64(len(b)-recordHeaderSize) {
+		return nil, nil, false
+	}
+	payload = b[recordHeaderSize : recordHeaderSize+int(n)]
+	var want [sha256.Size]byte
+	copy(want[:], b[8:])
+	if sha256.Sum256(payload) != want {
+		return nil, nil, false
+	}
+	return payload, b[recordHeaderSize+int(n):], true
+}
+
+// frameRecord appends the binary framing of payload to buf.
+func frameRecord(buf, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[8:], sum[:])
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// writeCompacted atomically replaces the journal with magic + records.
+func writeCompacted(path string, records []record) error {
+	buf := []byte(journalMagic)
+	for i := range records {
+		payload, err := json.Marshal(&records[i])
+		if err != nil {
+			return fmt.Errorf("service: encode journal record: %w", err)
+		}
+		buf = frameRecord(buf, payload)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: compact journal: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record durably (fsync before returning): a crash
+// after Append never forgets the event, a crash during it leaves a torn
+// tail the next OpenJournal repairs.
+func (j *Journal) Append(r record) error {
+	payload, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("service: encode journal record: %w", err)
+	}
+	if _, err := j.f.Write(frameRecord(nil, payload)); err != nil {
+		return fmt.Errorf("service: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (j *Journal) Close() error { return j.f.Close() }

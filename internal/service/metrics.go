@@ -1,0 +1,71 @@
+package service
+
+import "time"
+
+// Metrics is the expvar-style counter snapshot served at /metrics. All
+// counts are cumulative for the scheduler's lifetime except the gauges
+// (Queued, Running, WaitRetry).
+type Metrics struct {
+	// Gauges: current queue/pool occupancy.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	WaitRetry int `json:"wait_retry"`
+
+	// Lifecycle counters.
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Retried   int64 `json:"retried"`
+	Rejected  int64 `json:"rejected"`
+	Resumed   int64 `json:"resumed"`
+
+	// QueueLatencyMean is the mean queued→running wait over every attempt
+	// started so far (scheduler-clock time).
+	QueueLatencyMean time.Duration `json:"queue_latency_mean_ns"`
+
+	// Journal health.
+	JournalAppends      int64 `json:"journal_appends"`
+	JournalDroppedBytes int   `json:"journal_dropped_bytes"`
+	JournalDupTerminals int64 `json:"journal_dup_terminals"`
+
+	// Simulation cache hit-through (from the "sim" backend's cache, when
+	// that backend is installed): repeated identical sim jobs land as
+	// SimCacheHits instead of recomputing.
+	SimCacheHits     int64 `json:"sim_cache_hits"`
+	SimCacheDiskHits int64 `json:"sim_cache_disk_hits"`
+	SimCacheMisses   int64 `json:"sim_cache_misses"`
+}
+
+// Metrics snapshots the scheduler counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		Queued:              s.pending.Len(),
+		Running:             s.c.running,
+		WaitRetry:           s.c.waitRetry,
+		Submitted:           s.c.submitted,
+		Done:                s.c.done,
+		Failed:              s.c.failed,
+		Canceled:            s.c.canceled,
+		Retried:             s.c.retried,
+		Rejected:            s.c.rejected,
+		Resumed:             s.c.resumed,
+		JournalAppends:      s.c.journalAppends,
+		JournalDroppedBytes: s.c.journalDroppedBytes,
+		JournalDupTerminals: s.c.journalDupTerminals,
+	}
+	if s.c.latencyCount > 0 {
+		m.QueueLatencyMean = s.c.latencyTotal / time.Duration(s.c.latencyCount)
+	}
+	sim := s.opts.Backends[BackendSim]
+	s.mu.Unlock()
+
+	if sb, ok := sim.(*SimBackend); ok {
+		st := sb.CacheStats()
+		m.SimCacheHits = st.Hits
+		m.SimCacheDiskHits = st.DiskHits
+		m.SimCacheMisses = st.Misses
+	}
+	return m
+}

@@ -1,0 +1,37 @@
+package service
+
+// jobHeap is the pending queue: a max-heap on (priority, -seq) — higher
+// priority first, submission order within a priority. Jobs carry their
+// heap index so cancellation can remove a queued job in O(log n).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,547 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
+)
+
+// Options configures a Scheduler. The zero value of every field means
+// "use the default".
+type Options struct {
+	// Workers sizes the worker pool (default 4).
+	Workers int
+	// QueueLimit is the admission-control bound on queued (not running)
+	// jobs; submissions beyond it are rejected with ErrQueueFull
+	// (default 256).
+	QueueLimit int
+	// DefaultDeadline bounds one attempt when the spec does not
+	// (default 5 minutes).
+	DefaultDeadline time.Duration
+	// Retry shapes the backoff schedule (zero value = defaults).
+	Retry RetryPolicy
+	// Clock supplies all time: timestamps, queue-latency accounting,
+	// deadlines, and backoff timers (default clock.System; tests inject
+	// clock.Manual).
+	Clock clock.Clock
+	// JournalPath persists the campaign journal ("" = volatile: a
+	// restart forgets everything).
+	JournalPath string
+	// Backends maps spec backend names to executors. Nil installs the
+	// stock registry (sim with an in-memory cache, testbed).
+	Backends map[string]Backend
+}
+
+func (o Options) fill() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 256
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 5 * time.Minute
+	}
+	o.Retry = o.Retry.fill()
+	if o.Clock == nil {
+		o.Clock = clock.System
+	}
+	if o.Backends == nil {
+		o.Backends = map[string]Backend{
+			BackendSim:     NewSimBackend(nil),
+			BackendTestbed: &TestbedBackend{},
+		}
+	}
+	return o
+}
+
+// job is the scheduler's mutable view of one Job. All fields are guarded
+// by the scheduler mutex except those written only before publication.
+type job struct {
+	Job
+
+	rng        *rand.Rand // seeded per job: retry jitter
+	enqueuedAt time.Time  // last transition into the queue (latency base)
+	heapIdx    int        // position in the pending heap; -1 = not queued
+	cancel     context.CancelFunc
+	userCancel bool // operator asked; running attempt winds down
+	retryTimer clock.Timer
+	runs       int // completed executions (test observability)
+}
+
+// Scheduler owns the campaign state machine: admission, the priority
+// queue, server-pair tokens, the worker pool, retries, and the journal.
+type Scheduler struct {
+	opts    Options
+	clk     clock.Clock
+	journal *Journal
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	pending jobHeap
+	tokens  map[string]string // server pair -> job ID holding it
+	nextSeq uint64
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	c counters
+}
+
+// counters backs Metrics; everything is guarded by Scheduler.mu.
+type counters struct {
+	submitted, done, failed, canceled, retried, rejected int64
+	running                                              int
+	waitRetry                                            int
+	latencyTotal                                         time.Duration
+	latencyCount                                         int64
+	journalAppends                                       int64
+	journalDroppedBytes                                  int
+	journalDupTerminals                                  int64
+	resumed                                              int64
+}
+
+// NewScheduler builds a scheduler, replaying the journal if one is
+// configured: terminal jobs come back for listing, incomplete jobs are
+// re-queued to run exactly once more. Call Start to begin executing.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	opts = opts.fill()
+	s := &Scheduler{
+		opts:   opts,
+		clk:    opts.Clock,
+		jobs:   make(map[string]*job),
+		tokens: make(map[string]string),
+		stop:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.nextSeq = 1
+	if opts.JournalPath != "" {
+		jr, rec, err := OpenJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jr
+		s.c.journalDroppedBytes = rec.DroppedBytes
+		s.replay(rec.Records)
+	}
+	return s, nil
+}
+
+// replay rebuilds job state from journal records (no locking needed: the
+// scheduler is not yet published).
+func (s *Scheduler) replay(records []record) {
+	now := s.clk.Now()
+	for _, r := range records {
+		switch r.Op {
+		case recSubmit:
+			if r.Spec == nil || r.ID == "" {
+				continue
+			}
+			j := s.newJob(r.ID, r.Seq, *r.Spec, now)
+			j.Resumed = true
+			s.jobs[r.ID] = j
+			if r.Seq >= s.nextSeq {
+				s.nextSeq = r.Seq + 1
+			}
+		case recDone, recFail, recCancel:
+			j, ok := s.jobs[r.ID]
+			if !ok {
+				continue
+			}
+			if j.State.Terminal() {
+				// Duplicate completion (crash between the journal append
+				// and whatever followed): first record wins.
+				s.c.journalDupTerminals++
+				continue
+			}
+			j.FinishedAt = now
+			switch r.Op {
+			case recDone:
+				j.State = StateDone
+				j.Result = r.Result
+				s.c.done++
+			case recFail:
+				j.State = StateFailed
+				j.Error = r.Error
+				s.c.failed++
+			case recCancel:
+				j.State = StateCanceled
+				s.c.canceled++
+			}
+		}
+	}
+	// Re-queue the incomplete remainder in submission order.
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return s.jobs[ids[i]].Seq < s.jobs[ids[k]].Seq })
+	for _, id := range ids {
+		j := s.jobs[id]
+		if j.State.Terminal() {
+			continue
+		}
+		j.State = StateQueued
+		heap.Push(&s.pending, j)
+		s.c.submitted++
+		s.c.resumed++
+	}
+}
+
+// newJob constructs the in-memory record for a submission.
+func (s *Scheduler) newJob(id string, seq uint64, spec Spec, now time.Time) *job {
+	return &job{
+		Job: Job{
+			ID:          id,
+			Seq:         seq,
+			Spec:        spec,
+			State:       StateQueued,
+			SubmittedAt: now,
+		},
+		rng:        rand.New(rand.NewSource(jobSeed(id, spec.Seed))),
+		enqueuedAt: now,
+		heapIdx:    -1,
+	}
+}
+
+// Start launches the worker pool.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	workers := s.opts.Workers
+	s.mu.Unlock()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops admission, cancels running attempts, waits for the pool to
+// drain, and closes the journal. Interrupted jobs stay non-terminal in
+// the journal, so the next process resumes them.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	for _, j := range s.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+		if j.retryTimer != nil {
+			j.retryTimer.Stop()
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.Close() //lint:ignore errcheck every record was fsynced at append time; close cannot lose data
+	}
+}
+
+// Submit admits one job, journals it, and queues it.
+func (s *Scheduler) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrClosed
+	}
+	if _, ok := s.opts.Backends[spec.Backend]; !ok {
+		return Job{}, fmt.Errorf("service: unknown backend %q", spec.Backend)
+	}
+	if s.pending.Len() >= s.opts.QueueLimit {
+		s.c.rejected++
+		return Job{}, ErrQueueFull
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	id := fmt.Sprintf("j%06d", seq)
+	j := s.newJob(id, seq, spec, s.clk.Now())
+	if s.journal != nil {
+		if err := s.journal.Append(record{Op: recSubmit, ID: id, Seq: seq, Spec: &spec}); err != nil {
+			s.nextSeq = seq // not admitted: the ID was never durable
+			return Job{}, err
+		}
+		s.c.journalAppends++
+	}
+	s.jobs[id] = j
+	heap.Push(&s.pending, j)
+	s.c.submitted++
+	s.cond.Signal()
+	return j.snapshot(), nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Scheduler) Get(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns snapshots of every known job in submission order.
+func (s *Scheduler) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// Cancel ends a job: immediately when queued or waiting for a retry, by
+// canceling the attempt's context when running. Canceling a terminal job
+// is a no-op.
+func (s *Scheduler) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.State {
+	case StateQueued:
+		if j.heapIdx >= 0 {
+			heap.Remove(&s.pending, j.heapIdx)
+		}
+		s.finishLocked(j, StateCanceled, nil, "")
+	case StateWaitRetry:
+		if j.retryTimer != nil {
+			j.retryTimer.Stop()
+			j.retryTimer = nil
+		}
+		s.c.waitRetry--
+		s.finishLocked(j, StateCanceled, nil, "")
+	case StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.snapshot(), nil
+}
+
+// snapshot copies the externally visible state. Callers hold s.mu.
+func (j *job) snapshot() Job { return j.Job }
+
+// worker is one pool goroutine: claim a runnable job, execute, repeat.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.popRunnableLocked(); j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		// Claim: token, state, latency accounting, attempt context.
+		if pair := j.Spec.ServerPair; pair != "" {
+			s.tokens[pair] = j.ID
+		}
+		j.State = StateRunning
+		j.Attempts++
+		j.StartedAt = s.clk.Now()
+		s.c.latencyTotal += j.StartedAt.Sub(j.enqueuedAt)
+		s.c.latencyCount++
+		s.c.running++
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		backend := s.opts.Backends[j.Spec.Backend]
+		deadline := j.Spec.Deadline
+		if deadline <= 0 {
+			deadline = s.opts.DefaultDeadline
+		}
+		s.mu.Unlock()
+
+		s.execute(j, ctx, cancel, backend, deadline)
+	}
+}
+
+// popRunnableLocked pops the best-priority job whose server pair (if any)
+// is free, skipping over blocked ones.
+func (s *Scheduler) popRunnableLocked() *job {
+	var skipped []*job
+	var picked *job
+	for s.pending.Len() > 0 {
+		j := heap.Pop(&s.pending).(*job)
+		if pair := j.Spec.ServerPair; pair != "" {
+			if _, busy := s.tokens[pair]; busy {
+				skipped = append(skipped, j)
+				continue
+			}
+		}
+		picked = j
+		break
+	}
+	for _, j := range skipped {
+		heap.Push(&s.pending, j)
+	}
+	return picked
+}
+
+// execute runs one attempt under a clock-driven deadline and routes the
+// outcome through complete.
+func (s *Scheduler) execute(j *job, ctx context.Context, cancel context.CancelFunc, backend Backend, deadline time.Duration) {
+	timer := s.clk.NewTimer(deadline)
+	watchDone := make(chan struct{})
+	timedOut := make(chan struct{}, 1)
+	go func() {
+		select {
+		case <-timer.C():
+			timedOut <- struct{}{}
+			cancel()
+		case <-watchDone:
+		}
+	}()
+
+	res, err := runBackend(ctx, backend, j.Spec)
+
+	timer.Stop()
+	close(watchDone)
+	cancel()
+	overran := false
+	select {
+	case <-timedOut:
+		overran = true
+	default:
+	}
+	s.complete(j, res, err, overran)
+}
+
+// runBackend isolates a backend panic into an error so one bad job cannot
+// take the worker (and its queued siblings) down.
+func runBackend(ctx context.Context, b Backend, spec Spec) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: backend panic: %v", r)
+		}
+	}()
+	return b.Run(ctx, spec)
+}
+
+// complete applies one attempt's outcome: success, operator cancel,
+// shutdown interruption, retry scheduling, or terminal failure.
+func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pair := j.Spec.ServerPair; pair != "" {
+		delete(s.tokens, pair)
+	}
+	j.cancel = nil
+	j.runs++
+	s.c.running--
+
+	switch {
+	case err == nil:
+		j.Result = res
+		s.finishLocked(j, StateDone, res, "")
+	case j.userCancel:
+		s.finishLocked(j, StateCanceled, nil, "")
+	case s.closed:
+		// Shutdown interrupted the attempt: leave the job non-terminal so
+		// the journal resumes it in the next process.
+		j.State = StateQueued
+	default:
+		if overran {
+			err = fmt.Errorf("%w (%v)", ErrDeadline, err)
+		}
+		j.Error = err.Error()
+		maxAttempts := j.Spec.MaxAttempts
+		if maxAttempts <= 0 {
+			maxAttempts = s.opts.Retry.MaxAttempts
+		}
+		if j.Attempts >= maxAttempts {
+			s.finishLocked(j, StateFailed, nil, j.Error)
+			break
+		}
+		// Schedule the retry: capped exponential backoff, jitter from the
+		// job's seeded generator.
+		d := s.opts.Retry.delay(j.Attempts, j.rng)
+		j.State = StateWaitRetry
+		j.RetryAt = s.clk.Now().Add(d)
+		s.c.retried++
+		s.c.waitRetry++
+		t := s.clk.NewTimer(d)
+		j.retryTimer = t
+		s.wg.Add(1)
+		go s.awaitRetry(j, t)
+	}
+	s.cond.Broadcast() // a token freed or a slot opened
+}
+
+// finishLocked moves a job into a terminal state and journals it. The
+// journal append is duplicate-safe: recovery keeps the first terminal
+// record per job and counts the rest.
+func (s *Scheduler) finishLocked(j *job, st State, res *Result, errMsg string) {
+	j.State = st
+	j.FinishedAt = s.clk.Now()
+	j.RetryAt = time.Time{}
+	var rec record
+	switch st {
+	case StateDone:
+		s.c.done++
+		rec = record{Op: recDone, ID: j.ID, Result: res}
+	case StateFailed:
+		s.c.failed++
+		rec = record{Op: recFail, ID: j.ID, Error: errMsg}
+	case StateCanceled:
+		s.c.canceled++
+		rec = record{Op: recCancel, ID: j.ID}
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(rec); err == nil {
+			s.c.journalAppends++
+		}
+		// An append failure is not fatal: the in-memory state is
+		// authoritative for this process; the next process will re-run
+		// the job, which exactly-once semantics tolerate in the
+		// crash-before-append case anyway.
+	}
+}
+
+// awaitRetry re-queues a job when its backoff timer fires (or gives up on
+// shutdown/cancel).
+func (s *Scheduler) awaitRetry(j *job, t clock.Timer) {
+	defer s.wg.Done()
+	select {
+	case <-t.C():
+	case <-s.stop:
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || j.State != StateWaitRetry {
+		return
+	}
+	j.State = StateQueued
+	j.RetryAt = time.Time{}
+	j.retryTimer = nil
+	j.enqueuedAt = s.clk.Now()
+	s.c.waitRetry--
+	heap.Push(&s.pending, j)
+	s.cond.Signal()
+}

@@ -1,0 +1,416 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
+)
+
+// stubBackend is a scriptable backend: it counts runs per job seed (the
+// seed identifies a job across restarts), optionally blocks until released
+// or canceled, and optionally fails scripted attempts.
+type stubBackend struct {
+	mu    sync.Mutex
+	runs  map[int64]int
+	order []int64
+
+	block   chan struct{} // non-nil: Run blocks until close(block) or ctx
+	started chan int64    // non-nil: receives the seed when a run begins
+	fail    func(seed int64, attempt int) error
+}
+
+func newStubBackend() *stubBackend {
+	return &stubBackend{runs: map[int64]int{}}
+}
+
+func (b *stubBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
+	b.mu.Lock()
+	b.runs[spec.Seed]++
+	attempt := b.runs[spec.Seed]
+	b.order = append(b.order, spec.Seed)
+	block := b.block
+	fail := b.fail
+	b.mu.Unlock()
+	if b.started != nil {
+		b.started <- spec.Seed
+	}
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		if err := fail(spec.Seed, attempt); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Backend: spec.Backend, Detail: "stub"}, nil
+}
+
+func (b *stubBackend) runCount(seed int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.runs[seed]
+}
+
+// newTestScheduler builds a started scheduler over the stub backend with a
+// manual clock, registered under the backend name "stub".
+func newTestScheduler(t *testing.T, opts Options, b Backend) (*Scheduler, *clock.Manual) {
+	t.Helper()
+	mc := clock.NewManual(time.Unix(1700000000, 0))
+	opts.Clock = mc
+	if opts.Backends == nil {
+		opts.Backends = map[string]Backend{"stub": b}
+	}
+	s, err := NewScheduler(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Start()
+	return s, mc
+}
+
+func stubSpec(seed int64) Spec { return Spec{Backend: "stub", Seed: seed} }
+
+// waitJob polls (real time — test-only) until the job satisfies ok.
+func waitJob(t *testing.T, s *Scheduler, id string, ok func(Job) bool) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		job, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if ok(job) {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (attempt %d)", id, job.State, job.Attempts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitState polls until the job reaches want.
+func waitState(t *testing.T, s *Scheduler, id string, want State) Job {
+	t.Helper()
+	return waitJob(t, s, id, func(j Job) bool { return j.State == want })
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 2}, b)
+	job, err := s.Submit(stubSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, job.ID, StateDone)
+	if got.Result == nil || got.Result.Detail != "stub" {
+		t.Errorf("result = %+v, want stub detail", got.Result)
+	}
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", got.Attempts)
+	}
+	if b.runCount(7) != 1 {
+		t.Errorf("runs = %d, want 1", b.runCount(7))
+	}
+}
+
+func TestBackoffScheduleIsDeterministic(t *testing.T) {
+	b := newStubBackend()
+	b.fail = func(int64, int) error { return errors.New("boom") }
+	retry := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Second, MaxDelay: time.Minute, JitterFrac: 0.5}
+	s, mc := newTestScheduler(t, Options{Workers: 1, Retry: retry}, b)
+
+	job, err := s.Submit(stubSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicate the job's jitter stream: same ID, same spec seed.
+	rng := rand.New(rand.NewSource(jobSeed(job.ID, 42)))
+	want1 := retry.delay(1, rng)
+	want2 := retry.delay(2, rng)
+
+	got := waitJob(t, s, job.ID, func(j Job) bool {
+		return j.State == StateWaitRetry && j.Attempts == 1
+	})
+	if d := got.RetryAt.Sub(mc.Now()); d != want1 {
+		t.Errorf("first backoff = %v, want %v", d, want1)
+	}
+	mc.Advance(want1)
+	got = waitJob(t, s, job.ID, func(j Job) bool { // second failure
+		return j.State == StateWaitRetry && j.Attempts == 2
+	})
+	if d := got.RetryAt.Sub(mc.Now()); d != want2 {
+		t.Errorf("second backoff = %v, want %v", d, want2)
+	}
+	mc.Advance(want2)
+	got = waitState(t, s, job.ID, StateFailed) // third failure exhausts attempts
+	if got.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", got.Attempts)
+	}
+	if got.Error == "" {
+		t.Error("failed job has no error")
+	}
+	if b.runCount(42) != 3 {
+		t.Errorf("runs = %d, want 3", b.runCount(42))
+	}
+}
+
+func TestDeadlineCancelsAttempt(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{}) // never released: only the deadline ends it
+	b.started = make(chan int64, 4)
+	s, mc := newTestScheduler(t, Options{Workers: 1}, b)
+
+	spec := stubSpec(5)
+	spec.Deadline = time.Minute
+	spec.MaxAttempts = 1
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started // the attempt is executing; its deadline timer exists
+	mc.Advance(time.Minute)
+	got := waitState(t, s, job.ID, StateFailed)
+	if !contains(got.Error, "deadline") {
+		t.Errorf("error = %q, want a deadline error", got.Error)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{})
+	b.started = make(chan int64, 8)
+	s, _ := newTestScheduler(t, Options{Workers: 1}, b)
+
+	blocker, err := s.Submit(stubSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started // the single worker is now occupied
+
+	low := stubSpec(1)
+	high := stubSpec(2)
+	high.Priority = 5
+	jLow, err := s.Submit(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jHigh, err := s.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(b.block)
+	waitState(t, s, blocker.ID, StateDone)
+	waitState(t, s, jHigh.ID, StateDone)
+	waitState(t, s, jLow.ID, StateDone)
+
+	b.mu.Lock()
+	order := append([]int64(nil), b.order...)
+	b.mu.Unlock()
+	want := []int64{100, 2, 1}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestServerPairTokenSerializes(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{})
+	b.started = make(chan int64, 8)
+	s, _ := newTestScheduler(t, Options{Workers: 4}, b)
+
+	first := stubSpec(1)
+	first.ServerPair = "pairX"
+	second := stubSpec(2)
+	second.ServerPair = "pairX"
+	other := stubSpec(3)
+	other.ServerPair = "pairY"
+
+	j1, err := s.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	j2, err := s.Submit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := s.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairY is free: job 3 starts despite being behind job 2 in the queue.
+	if seed := <-b.started; seed != 3 {
+		t.Fatalf("started seed %d, want 3 (pairY)", seed)
+	}
+	// pairX is held by job 1: job 2 must still be queued.
+	if got, _ := s.Get(j2.ID); got.State != StateQueued {
+		t.Fatalf("job sharing a busy pair is %s, want queued", got.State)
+	}
+	close(b.block)
+	waitState(t, s, j1.ID, StateDone)
+	waitState(t, s, j2.ID, StateDone)
+	waitState(t, s, j3.ID, StateDone)
+}
+
+func TestAdmissionControlRejects(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{})
+	b.started = make(chan int64, 4)
+	defer close(b.block)
+	s, _ := newTestScheduler(t, Options{Workers: 1, QueueLimit: 1}, b)
+
+	if _, err := s.Submit(stubSpec(1)); err != nil { // runs
+		t.Fatal(err)
+	}
+	<-b.started
+	if _, err := s.Submit(stubSpec(2)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(stubSpec(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if m := s.Metrics(); m.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", m.Rejected)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	b := newStubBackend()
+	b.block = make(chan struct{})
+	b.started = make(chan int64, 4)
+	s, _ := newTestScheduler(t, Options{Workers: 1}, b)
+
+	running, err := s.Submit(stubSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	queued, err := s.Submit(stubSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := s.Cancel(queued.ID); err != nil || got.State != StateCanceled {
+		t.Fatalf("cancel queued: job %v err %v, want canceled", got.State, err)
+	}
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, running.ID, StateCanceled)
+	if got.Attempts != 1 {
+		t.Errorf("canceled running job attempts = %d, want 1", got.Attempts)
+	}
+	if b.runCount(2) != 0 {
+		t.Errorf("canceled queued job ran %d times", b.runCount(2))
+	}
+	if _, err := s.Cancel("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cancel unknown: %v, want ErrNotFound", err)
+	}
+}
+
+func TestCancelWaitRetry(t *testing.T) {
+	b := newStubBackend()
+	b.fail = func(int64, int) error { return errors.New("boom") }
+	s, _ := newTestScheduler(t, Options{Workers: 1}, b)
+
+	job, err := s.Submit(stubSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateWaitRetry)
+	if got, err := s.Cancel(job.ID); err != nil || got.State != StateCanceled {
+		t.Fatalf("cancel wait-retry: job %v err %v, want canceled", got.State, err)
+	}
+	if b.runCount(9) != 1 {
+		t.Errorf("runs after cancel = %d, want 1", b.runCount(9))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{}, b)
+	if _, err := s.Submit(Spec{}); err == nil {
+		t.Error("empty spec admitted")
+	}
+	if _, err := s.Submit(Spec{Backend: BackendSim}); err == nil {
+		t.Error("sim spec without payload admitted")
+	}
+	if _, err := s.Submit(Spec{Backend: "no-such-backend"}); err == nil {
+		t.Error("unknown backend admitted")
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCloseRejectsSubmit(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{}, b)
+	s.Close()
+	if _, err := s.Submit(stubSpec(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestBackendPanicBecomesFailure(t *testing.T) {
+	b := newStubBackend()
+	b.fail = func(int64, int) error { panic("kaboom") }
+	s, _ := newTestScheduler(t, Options{Workers: 1, Retry: RetryPolicy{MaxAttempts: 1}}, b)
+	job, err := s.Submit(stubSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, job.ID, StateFailed)
+	if !contains(got.Error, "panic") {
+		t.Errorf("error = %q, want a panic report", got.Error)
+	}
+	// The worker survived: the next job still runs.
+	b.mu.Lock()
+	b.fail = nil
+	b.mu.Unlock()
+	job2, err := s.Submit(stubSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job2.ID, StateDone)
+}
+
+func TestMetricsCounters(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 1}, b)
+	j1, _ := s.Submit(stubSpec(1))
+	j2, _ := s.Submit(stubSpec(2))
+	waitState(t, s, j1.ID, StateDone)
+	waitState(t, s, j2.ID, StateDone)
+	m := s.Metrics()
+	if m.Submitted != 2 || m.Done != 2 || m.Running != 0 || m.Queued != 0 {
+		t.Errorf("metrics = %+v, want submitted=2 done=2 idle", m)
+	}
+	jobs := s.List()
+	if len(jobs) != 2 || jobs[0].Seq > jobs[1].Seq {
+		t.Errorf("List() = %+v, want 2 jobs in seq order", jobs)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -96,6 +96,12 @@ func (d *DgramSender) Measurements(dur, rtt time.Duration) measure.Path {
 type DgramReceiver struct {
 	conn *net.UDPConn
 
+	// PollInterval bounds how long Serve blocks in one read before
+	// re-arming its deadline (0 = DefaultPollInterval). Cancellation no
+	// longer waits out a poll — Serve breaks the blocking read the moment
+	// its context ends — so this only tunes the steady-state wakeup rate.
+	PollInterval time.Duration
+
 	mu        sync.Mutex
 	start     time.Time
 	expected  uint64
@@ -115,11 +121,16 @@ func (r *DgramReceiver) Serve(ctx context.Context) error {
 	r.start = time.Now()
 	r.mu.Unlock()
 	buf := make([]byte, 65536)
+	poll := pollInterval(r.PollInterval)
+	defer breakReadOnDone(ctx, r.conn)()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		r.conn.SetReadDeadline(time.Now().Add(poll)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		if ctx.Err() != nil {
+			return nil // cancellation raced the re-arm; don't wait out the poll
+		}
 		n, err := r.conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {

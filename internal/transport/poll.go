@@ -1,0 +1,37 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// DefaultPollInterval is the read-deadline granularity the serve loops use
+// when the caller does not set one. It used to double as the worst-case
+// shutdown latency; since serve loops break their blocking read the moment
+// their context ends, it only bounds the steady-state wakeup rate.
+const DefaultPollInterval = 50 * time.Millisecond
+
+// pollInterval applies the default to an unset (non-positive) interval.
+func pollInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return DefaultPollInterval
+	}
+	return d
+}
+
+// breakReadOnDone makes ctx cancellation prompt for a deadline-polled read
+// loop: the moment ctx ends, the connection's read deadline is pulled into
+// the past, which unblocks an in-flight Read with a timeout error. The
+// returned stop function releases the watcher and must be called when the
+// loop exits.
+//
+// The serve loops re-arm their deadline every iteration, so a loop must
+// re-check ctx after arming: if cancellation lands between the loop's
+// ctx check and its SetReadDeadline, the fresh deadline would otherwise
+// overwrite the break-out and the loop would sleep one full poll interval.
+func breakReadOnDone(ctx context.Context, conn *net.UDPConn) func() bool {
+	return context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Unix(1, 0)) //lint:ignore errcheck a failed deadline rewind degrades to the poll-interval timeout
+	})
+}

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The serve loops must return promptly on context cancellation even when
+// the poll interval is enormous: the service layer tears sessions down on
+// job cancellation and must not wait out a read deadline.
+func TestReceiverCancellationPrompt(t *testing.T) {
+	_, clientConn := udpPair(t)
+	r := NewReceiver(clientConn)
+	r.PollInterval = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Serve(ctx) }()
+	time.Sleep(20 * time.Millisecond) // let Serve block in its read
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return within 2s of cancellation")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("teardown took %v; cancellation should break the blocking read", waited)
+	}
+}
+
+func TestDgramReceiverCancellationPrompt(t *testing.T) {
+	_, clientConn := udpPair(t)
+	r := NewDgramReceiver(clientConn)
+	r.PollInterval = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.Serve(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return within 2s of cancellation")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("teardown took %v; cancellation should break the blocking read", waited)
+	}
+}
+
+func TestPollIntervalDefault(t *testing.T) {
+	if got := pollInterval(0); got != DefaultPollInterval {
+		t.Fatalf("pollInterval(0) = %v, want %v", got, DefaultPollInterval)
+	}
+	if got := pollInterval(time.Second); got != time.Second {
+		t.Fatalf("pollInterval(1s) = %v, want 1s", got)
+	}
+}

@@ -15,6 +15,12 @@ import (
 type Receiver struct {
 	conn *net.UDPConn
 
+	// PollInterval bounds how long Serve blocks in one read before
+	// re-arming its deadline (0 = DefaultPollInterval). Cancellation no
+	// longer waits out a poll — Serve breaks the blocking read the moment
+	// its context ends — so this only tunes the steady-state wakeup rate.
+	PollInterval time.Duration
+
 	mu        sync.Mutex
 	start     time.Time
 	seen      map[uint64]bool
@@ -35,11 +41,16 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	r.mu.Unlock()
 	buf := make([]byte, 65536)
 	out := make([]byte, 0, headerSize)
+	poll := pollInterval(r.PollInterval)
+	defer breakReadOnDone(ctx, r.conn)()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		r.conn.SetReadDeadline(time.Now().Add(poll)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		if ctx.Err() != nil {
+			return nil // cancellation raced the re-arm; don't wait out the poll
+		}
 		n, err := r.conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
