@@ -36,6 +36,7 @@ func DefaultConfig() *Config {
 			"internal/tomo",
 			"internal/topology",
 			"internal/trace",
+			"internal/twin",
 			"internal/wehe",
 		},
 		WalltimeAllow: []string{

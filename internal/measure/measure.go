@@ -111,19 +111,29 @@ type Delivery struct {
 
 // BinThroughput converts arrival events in [start, start+dur) into
 // per-interval throughput samples (bits/s) with the given interval.
+//
+// Only complete intervals are sampled: when dur is not a whole multiple of
+// interval, arrivals in the partial tail [n·interval, dur) are ignored.
+// (They used to be clamped into bin n−1, which inflated that throughput
+// sample by up to the tail's share — every sample must cover exactly one
+// interval for the per-interval rates to be comparable.)
 func BinThroughput(events []Delivery, start, dur, interval time.Duration) Throughput {
 	n := int(dur / interval)
 	if n < 1 {
 		n = 1
 	}
+	covered := time.Duration(n) * interval
+	if covered > dur {
+		covered = dur // single-bin fallback when interval > dur
+	}
 	bytes := make([]int64, n)
 	for _, e := range events {
 		t := e.At - start
-		if t < 0 || t >= dur {
+		if t < 0 || t >= covered {
 			continue
 		}
 		idx := int(t / interval)
-		if idx >= n { // dur need not be a whole number of intervals
+		if idx >= n { // interval > dur: the single bin covers [0, dur)
 			idx = n - 1
 		}
 		bytes[idx] += int64(e.Bytes)

@@ -84,6 +84,37 @@ func TestBinThroughput(t *testing.T) {
 	}
 }
 
+func TestBinThroughputPartialTailIgnored(t *testing.T) {
+	// dur = 1.05 s with 100 ms intervals: 10 complete bins plus a 50 ms
+	// partial tail. Arrivals in the tail must not be counted — they used to
+	// be clamped into bin 9, inflating that sample.
+	events := []Delivery{
+		{At: ms(950), Bytes: 1000},  // bin 9 proper
+		{At: ms(1020), Bytes: 4000}, // partial tail: ignored
+		{At: ms(1049), Bytes: 4000}, // partial tail: ignored
+	}
+	th := BinThroughput(events, 0, ms(1050), ms(100))
+	if len(th.Samples) != 10 {
+		t.Fatalf("samples = %d, want 10 complete intervals", len(th.Samples))
+	}
+	if want := 1000 * 8 / 0.1; th.Samples[9] != want {
+		t.Errorf("Samples[9] = %v, want %v (tail arrivals must not inflate the last bin)", th.Samples[9], want)
+	}
+}
+
+func TestBinThroughputIntervalLargerThanDur(t *testing.T) {
+	// Degenerate single-bin fallback: interval > dur keeps one bin covering
+	// all of [0, dur).
+	events := []Delivery{{At: ms(10), Bytes: 100}, {At: ms(90), Bytes: 100}}
+	th := BinThroughput(events, 0, ms(100), ms(250))
+	if len(th.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(th.Samples))
+	}
+	if want := 200 * 8 / 0.25; th.Samples[0] != want {
+		t.Errorf("Samples[0] = %v, want %v", th.Samples[0], want)
+	}
+}
+
 func TestWeHeThroughputUses100Intervals(t *testing.T) {
 	th := WeHeThroughput([]Delivery{{At: ms(500), Bytes: 100}}, 0, 10*time.Second)
 	if len(th.Samples) != WeHeIntervals {

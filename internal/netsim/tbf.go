@@ -92,6 +92,15 @@ func (r *RateLimiter) Send(pkt *Packet) {
 		r.forward(pkt)
 		return
 	}
+	if r.Rate <= 0 {
+		// A zero-rate bucket never earns tokens: once the initial burst is
+		// spent, a queued packet could never depart and the drain event
+		// would respin at the current instant forever. tc-tbf refuses
+		// rate 0 outright; we keep the device constructible but make it a
+		// blackhole past the burst.
+		r.drop(pkt)
+		return
+	}
 	if r.queuedSize+pkt.Size > r.QueueLimit {
 		r.drop(pkt)
 		return
@@ -127,6 +136,19 @@ func (r *RateLimiter) refill() {
 // have accumulated.
 func (r *RateLimiter) scheduleDrain() {
 	if r.draining || r.queued.Len() == 0 {
+		return
+	}
+	if r.Rate <= 0 {
+		// Rate was zeroed with packets already queued: they can never earn
+		// tokens, so park-and-drop them now instead of respinning the drain
+		// event at the current instant forever.
+		for r.queued.Len() > 0 {
+			pkt := r.queued.Front()
+			r.queued.Pop()
+			r.queuedSize -= pkt.Size
+			pkt.QueuedFor += r.eng.Now() // close the open queue-delay interval
+			r.drop(pkt)
+		}
 		return
 	}
 	r.draining = true

@@ -148,6 +148,68 @@ func TestRateLimiterCustomClassifier(t *testing.T) {
 	}
 }
 
+func TestRateLimiterZeroRateTerminates(t *testing.T) {
+	// A zero-rate TBF never earns tokens. Pre-fix, the first packet that
+	// outlived the burst was queued and scheduleDrain computed wait = 0,
+	// respinning evTBFDrain at the same instant forever — this test hung.
+	var eng Engine
+	col := &collector{eng: &eng}
+	rl := NewRateLimiter(&eng, "tbf", 0, 3000, 60000, col)
+	for i := 0; i < 20; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() {
+			rl.Send(&Packet{Size: 1000, Class: ClassDifferentiated})
+		})
+	}
+	eng.Run(time.Second)
+	if eng.Pending() != 0 {
+		t.Errorf("engine left %d events pending", eng.Pending())
+	}
+	// The initial burst (3 packets) forwards; everything after is dropped.
+	if len(col.pkts) != 3 {
+		t.Errorf("forwarded %d packets, want the 3-packet burst", len(col.pkts))
+	}
+	if rl.Dropped != 17 {
+		t.Errorf("dropped %d, want 17", rl.Dropped)
+	}
+	if rl.QueueBytes() != 0 {
+		t.Errorf("queue holds %d bytes, want 0 (zero-rate TBF must not park packets)", rl.QueueBytes())
+	}
+}
+
+func TestRateLimiterRateZeroedMidRunDropsQueue(t *testing.T) {
+	// Rate zeroed while packets sit in the queue: the drain path must drop
+	// them instead of spinning.
+	var eng Engine
+	col := &collector{eng: &eng}
+	rl := NewRateLimiter(&eng, "tbf", 1e6, 1500, 60000, col)
+	drops := 0
+	rl.OnDrop = func(pkt *Packet, _ string) {
+		drops++
+		if pkt.QueuedFor < 0 {
+			t.Errorf("dropped packet has open queue-delay interval: %v", pkt.QueuedFor)
+		}
+	}
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			rl.Send(&Packet{Size: 1500, Class: ClassDifferentiated})
+		}
+	})
+	eng.Schedule(time.Millisecond, func() { rl.Rate = 0 })
+	eng.Run(time.Second)
+	if eng.Pending() != 0 {
+		t.Errorf("engine left %d events pending", eng.Pending())
+	}
+	if rl.QueueBytes() != 0 {
+		t.Errorf("queue holds %d bytes after rate was zeroed", rl.QueueBytes())
+	}
+	if drops == 0 {
+		t.Error("no drops observed for the parked queue")
+	}
+	if got := int64(len(col.pkts)) + rl.Dropped; got != 10 {
+		t.Errorf("forwarded+dropped = %d, want 10 (conservation)", got)
+	}
+}
+
 func TestBurstForRTT(t *testing.T) {
 	// 8 Mbit/s × 50 ms = 50 KB.
 	if got := BurstForRTT(8e6, 50*time.Millisecond); got != 50000 {

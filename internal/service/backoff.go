@@ -13,7 +13,8 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// BaseDelay is the wait after the first failure (default 500 ms).
 	BaseDelay time.Duration
-	// MaxDelay caps the exponential growth (default 30 s).
+	// MaxDelay caps the delay — exponential growth and jitter included
+	// (default 30 s). No schedule ever waits longer than this.
 	MaxDelay time.Duration
 	// JitterFrac spreads each delay uniformly over
 	// [1-JitterFrac, 1+JitterFrac) (default 0.5). Zero jitter is
@@ -57,6 +58,13 @@ func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
 	if p.JitterFrac > 0 {
 		lo := 1 - p.JitterFrac
 		d = time.Duration(float64(d) * (lo + 2*p.JitterFrac*rng.Float64()))
+	}
+	// MaxDelay is a hard cap: clamp again after jitter, or a delay already
+	// at the cap jitters up to (1+JitterFrac)×MaxDelay. The rng draw above
+	// is unconditional either way, so seeded retry schedules that stayed
+	// below the cap are unchanged.
+	if d > p.MaxDelay {
+		d = p.MaxDelay
 	}
 	if d < time.Millisecond {
 		d = time.Millisecond

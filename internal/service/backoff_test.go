@@ -1,0 +1,48 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetryDelayNeverExceedsMaxDelay(t *testing.T) {
+	// A delay already at the cap used to jitter up to 1.5×MaxDelay because
+	// jitter was applied after the clamp. The cap is documented as hard.
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: 4 * time.Second, JitterFrac: 0.5}
+	rng := rand.New(rand.NewSource(42))
+	sawCap := false
+	for i := 0; i < 200; i++ {
+		d := p.delay(10, rng) // attempt 10: pre-jitter delay sits at the cap
+		if d > p.MaxDelay {
+			t.Fatalf("delay %v exceeds MaxDelay %v", d, p.MaxDelay)
+		}
+		if d == p.MaxDelay {
+			sawCap = true
+		}
+	}
+	// With JitterFrac 0.5, about half the draws multiply above 1 and must
+	// clamp to exactly MaxDelay — if none did, the clamp is not exercised.
+	if !sawCap {
+		t.Error("no draw clamped to MaxDelay; the post-jitter cap is untested")
+	}
+}
+
+func TestRetryDelayBelowCapKeepsSeededJitter(t *testing.T) {
+	// The post-jitter clamp must not change schedules that stay below the
+	// cap: same seed, same draws, same delays as the documented jitter law.
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: time.Minute, JitterFrac: 0.5}
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 4; attempt++ {
+		got := p.delay(attempt, rngB)
+		base := p.BaseDelay << (attempt - 1)
+		want := time.Duration(float64(base) * (0.5 + rngA.Float64()))
+		if want < time.Millisecond {
+			want = time.Millisecond
+		}
+		if got != want {
+			t.Fatalf("attempt %d: delay = %v, want %v (seeded jitter changed)", attempt, got, want)
+		}
+	}
+}

@@ -24,6 +24,13 @@ type Metrics struct {
 	// started so far (scheduler-clock time).
 	QueueLatencyMean time.Duration `json:"queue_latency_mean_ns"`
 
+	// Service-time moments over successful attempts (started→done), the
+	// empirical inputs to the /twin capacity model: sample count, mean in
+	// seconds, and the second raw moment E[S²] in s².
+	ServiceTimeCount int64   `json:"service_time_count"`
+	ServiceTimeMeanS float64 `json:"service_time_mean_s,omitempty"`
+	ServiceTimeEx2S2 float64 `json:"service_time_ex2_s2,omitempty"`
+
 	// Journal health.
 	JournalAppends      int64 `json:"journal_appends"`
 	JournalDroppedBytes int   `json:"journal_dropped_bytes"`
@@ -35,6 +42,27 @@ type Metrics struct {
 	SimCacheHits     int64 `json:"sim_cache_hits"`
 	SimCacheDiskHits int64 `json:"sim_cache_disk_hits"`
 	SimCacheMisses   int64 `json:"sim_cache_misses"`
+}
+
+// ServiceMoments returns the empirical service-time moments over
+// successful attempts: sample count, mean seconds, and the squared
+// coefficient of variation (clamped at 0 against float cancellation).
+// These parameterize twin.MGc for live capacity answers.
+func (s *Scheduler) ServiceMoments() (count int64, mean, scv float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c.svcCount == 0 {
+		return 0, 0, 0
+	}
+	mean = s.c.svcTotalSec / float64(s.c.svcCount)
+	ex2 := s.c.svcTotalSqSec / float64(s.c.svcCount)
+	if mean > 0 {
+		scv = ex2/(mean*mean) - 1
+		if scv < 0 {
+			scv = 0
+		}
+	}
+	return s.c.svcCount, mean, scv
 }
 
 // Metrics snapshots the scheduler counters.
@@ -57,6 +85,11 @@ func (s *Scheduler) Metrics() Metrics {
 	}
 	if s.c.latencyCount > 0 {
 		m.QueueLatencyMean = s.c.latencyTotal / time.Duration(s.c.latencyCount)
+	}
+	m.ServiceTimeCount = s.c.svcCount
+	if s.c.svcCount > 0 {
+		m.ServiceTimeMeanS = s.c.svcTotalSec / float64(s.c.svcCount)
+		m.ServiceTimeEx2S2 = s.c.svcTotalSqSec / float64(s.c.svcCount)
 	}
 	sim := s.opts.Backends[BackendSim]
 	s.mu.Unlock()

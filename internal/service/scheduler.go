@@ -106,6 +106,15 @@ type counters struct {
 	journalDroppedBytes                                  int
 	journalDupTerminals                                  int64
 	resumed                                              int64
+
+	// Service-time moment accumulators over successful attempts
+	// (started→done on the scheduler clock). They feed the M/G/c capacity
+	// model behind GET /twin: count, Σs, and Σs² give the empirical mean
+	// and squared coefficient of variation. Canceled and interrupted
+	// attempts are excluded — their durations measure the operator, not
+	// the backend.
+	svcCount                   int64
+	svcTotalSec, svcTotalSqSec float64
 }
 
 // NewScheduler builds a scheduler, replaying the journal if one is
@@ -457,6 +466,10 @@ func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
 
 	switch {
 	case err == nil:
+		sec := s.clk.Now().Sub(j.StartedAt).Seconds()
+		s.c.svcCount++
+		s.c.svcTotalSec += sec
+		s.c.svcTotalSqSec += sec * sec
 		j.Result = res
 		s.finishLocked(j, StateDone, res, "")
 	case j.userCancel:

@@ -28,6 +28,12 @@ func Bootstrap(rng *rand.Rand, xs []float64, iters int, stat func([]float64) flo
 
 // BootstrapCI returns the (lo, hi) percentile bootstrap confidence interval
 // at the given confidence level (e.g. 0.95) for stat over xs.
+//
+// Degenerate levels keep the percentile definition rather than erroring:
+// level 0 collapses the interval onto the bootstrap median (both ends the
+// 0.5-quantile of the resample distribution) and level 1 spans the full
+// resample range (min, max). Levels outside [0, 1] clamp to that range,
+// because Quantile clamps its argument.
 func BootstrapCI(rng *rand.Rand, xs []float64, iters int, level float64, stat func([]float64) float64) (lo, hi float64) {
 	samples := Bootstrap(rng, xs, iters, stat)
 	if len(samples) == 0 {

@@ -92,3 +92,28 @@ func TestResampleStillWorks(t *testing.T) {
 		}
 	}
 }
+
+func TestBootstrapCIDegenerateLevels(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	// Level 0: both ends are the 0.5-quantile of the resample distribution.
+	lo, hi := BootstrapCI(rand.New(rand.NewSource(3)), xs, 200, 0, mean)
+	if lo != hi {
+		t.Errorf("level 0: (%v, %v), want a collapsed interval", lo, hi)
+	}
+	if math.IsNaN(lo) {
+		t.Error("level 0: NaN interval")
+	}
+	// Level 1: the full resample range — and it must bracket the level-0
+	// point and any interior level's interval.
+	min1, max1 := BootstrapCI(rand.New(rand.NewSource(3)), xs, 200, 1, mean)
+	if !(min1 <= lo && hi <= max1) {
+		t.Errorf("level 1 (%v, %v) does not bracket level 0 (%v, %v)", min1, max1, lo, hi)
+	}
+	lo95, hi95 := BootstrapCI(rand.New(rand.NewSource(3)), xs, 200, 0.95, mean)
+	if !(min1 <= lo95 && hi95 <= max1) {
+		t.Errorf("level 1 (%v, %v) does not bracket level 0.95 (%v, %v)", min1, max1, lo95, hi95)
+	}
+	if math.IsNaN(min1) || math.IsNaN(max1) {
+		t.Error("level 1: NaN interval")
+	}
+}

@@ -41,6 +41,13 @@ func StdDev(xs []float64) float64 {
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics (type-7, the R/NumPy default).
 // It returns NaN for an empty slice.
+//
+// NaNs in xs are kept, not filtered: sort.Float64s orders them before
+// every number, so quantiles whose order statistics touch a NaN position
+// return NaN (low quantiles first), while quantiles entirely above the
+// NaN block stay finite. Callers that want NaN-free answers must filter
+// their data first — silently dropping samples here would misreport the
+// sample size the quantile positions are computed from.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 || math.IsNaN(q) {
 		return math.NaN()
@@ -86,7 +93,9 @@ type BoxplotStats struct {
 }
 
 // Boxplot computes BoxplotStats for xs. It returns a zero-value struct with
-// N == 0 for an empty sample.
+// N == 0 for an empty sample. Degenerate samples are well-defined: a
+// single-element or all-equal sample collapses the box (Q1 = Median = Q3 =
+// the value), both whiskers sit on that value, and there are no outliers.
 func Boxplot(xs []float64) BoxplotStats {
 	if len(xs) == 0 {
 		return BoxplotStats{}

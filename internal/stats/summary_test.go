@@ -179,3 +179,57 @@ func TestLinspace(t *testing.T) {
 		t.Errorf("n=1: %v", got)
 	}
 }
+
+func TestBoxplotSingleElement(t *testing.T) {
+	// The twin's tolerance math summarizes arbitrarily small comparison
+	// sets; a one-sample boxplot must collapse, not misplace whiskers.
+	b := Boxplot([]float64{3.5})
+	if b.N != 1 {
+		t.Fatalf("N = %d", b.N)
+	}
+	for name, v := range map[string]float64{
+		"Min": b.Min, "Q1": b.Q1, "Median": b.Median, "Q3": b.Q3,
+		"Max": b.Max, "WhiskerLo": b.WhiskerLo, "WhiskerHi": b.WhiskerHi,
+	} {
+		if v != 3.5 {
+			t.Errorf("%s = %v, want 3.5", name, v)
+		}
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("outliers = %v, want none", b.Outliers)
+	}
+}
+
+func TestBoxplotAllEqual(t *testing.T) {
+	b := Boxplot([]float64{2, 2, 2, 2, 2})
+	if b.N != 5 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if b.Q1 != 2 || b.Median != 2 || b.Q3 != 2 || b.WhiskerLo != 2 || b.WhiskerHi != 2 {
+		t.Errorf("all-equal box did not collapse: %+v", b)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("outliers = %v, want none (IQR 0 fences sit on the value)", b.Outliers)
+	}
+}
+
+func TestQuantileNaNInData(t *testing.T) {
+	// NaNs sort first (sort.Float64s): order statistics touching the NaN
+	// block return NaN, those entirely above it stay finite.
+	xs := []float64{2, math.NaN(), 1, 3}
+	if got := Quantile(xs, 0); !math.IsNaN(got) {
+		t.Errorf("q=0 = %v, want NaN (NaN sorts first)", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Errorf("q=1 = %v, want 3", got)
+	}
+	// Median of n=4 interpolates positions 1 and 2 (values 1 and 2): the
+	// NaN at position 0 is out of reach.
+	if got := Quantile(xs, 0.5); got != 1.5 {
+		t.Errorf("q=0.5 = %v, want 1.5", got)
+	}
+	// One position below the median touches the NaN.
+	if got := Quantile(xs, 1.0/6); !math.IsNaN(got) {
+		t.Errorf("q=1/6 = %v, want NaN (interpolates against the NaN)", got)
+	}
+}

@@ -1,0 +1,209 @@
+package twin
+
+import (
+	"math"
+
+	"github.com/nal-epfl/wehey/internal/stats"
+)
+
+// MGc is an M/G/c queueing model of the campaign service: jobs arrive
+// Poisson at Lambda per second, Servers workers serve them FIFO, and the
+// service time has mean MeanService seconds and squared coefficient of
+// variation SCV (= Var[S]/E[S]²; 1 for exponential, 0 for deterministic).
+//
+// For c = 1 the waiting time is the exact Pollaczek–Khinchine mean; for
+// c > 1 it uses the Allen–Cunneen approximation
+//
+//	Wq ≈ (1+SCV)/2 · Wq(M/M/c)
+//
+// which is exact for M/M/c and for M/G/1, and within a few percent for the
+// utilizations the service runs at. The service-time moments come from the
+// scheduler's job metrics (see service.Metrics.ServiceMoments) or from
+// explicit overrides on the wehey-twin command line.
+type MGc struct {
+	Lambda      float64 // arrivals per second
+	Servers     int     // worker count c
+	MeanService float64 // E[S] in seconds
+	SCV         float64 // Var[S]/E[S]²
+}
+
+// Utilization returns ρ = λ·E[S]/c.
+func (m MGc) Utilization() float64 {
+	if m.Servers <= 0 || m.MeanService <= 0 {
+		return 0
+	}
+	return m.Lambda * m.MeanService / float64(m.Servers)
+}
+
+// Stable reports whether the queue has a steady state (ρ < 1 with at least
+// one server and a positive service time).
+func (m MGc) Stable() bool {
+	return m.Servers >= 1 && m.MeanService > 0 && m.Utilization() < 1
+}
+
+// erlangC returns the M/M/c probability that an arrival must wait, via the
+// numerically stable Erlang-B recurrence B(k) = a·B(k−1)/(k + a·B(k−1)).
+func erlangC(c int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// WaitProb returns the probability an arriving job finds all servers busy
+// (and therefore queues at all). Erlang-C; 1 when unstable.
+func (m MGc) WaitProb() float64 {
+	if !m.Stable() {
+		return 1
+	}
+	return erlangC(m.Servers, m.Lambda*m.MeanService)
+}
+
+// MeanWait returns E[Wq], the mean time in queue (excluding service).
+// +Inf when the system is unstable.
+func (m MGc) MeanWait() float64 {
+	if !m.Stable() {
+		return math.Inf(1)
+	}
+	if m.Lambda <= 0 {
+		return 0
+	}
+	c := float64(m.Servers)
+	rho := m.Utilization()
+	wqMMc := m.WaitProb() * m.MeanService / (c * (1 - rho))
+	return (1 + m.SCV) / 2 * wqMMc
+}
+
+// MeanSojourn returns E[T] = E[Wq] + E[S], the mean submit-to-finish time.
+func (m MGc) MeanSojourn() float64 {
+	return m.MeanWait() + m.MeanService
+}
+
+// SojournCDF returns P(T ≤ t) for the sojourn time T = Wq + S, treating the
+// wait and the service as independent (exact for FIFO M/M/c, the standard
+// approximation otherwise):
+//
+//   - Wq has an atom 1−Pc at zero and an exponential tail
+//     P(Wq > t) = Pc·e^(−t/w̄) with w̄ = E[Wq]/Pc, the unique
+//     atom-plus-exponential law matching both Erlang-C and the mean.
+//   - S is gamma-fit to the first two moments: shape k = 1/SCV, scale
+//     θ = E[S]·SCV (exponential at SCV 1, a point mass as SCV → 0).
+//
+// The convolution is integrated numerically; for M/M/1 the result is the
+// exact Exp(μ−λ) sojourn law.
+func (m MGc) SojournCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if !m.Stable() {
+		return 0
+	}
+	pc := m.WaitProb()
+	wq := m.MeanWait()
+	if pc <= 0 || wq <= 0 {
+		return m.serviceCDF(t)
+	}
+	wbar := wq / pc
+
+	// P(T ≤ t) = (1−Pc)·F_S(t) + ∫₀ᵗ (Pc/w̄)·e^(−w/w̄)·F_S(t−w) dw,
+	// by composite Simpson on the wait variable.
+	const steps = 512 // even
+	h := t / steps
+	integral := 0.0
+	for i := 0; i <= steps; i++ {
+		w := float64(i) * h
+		f := pc / wbar * math.Exp(-w/wbar) * m.serviceCDF(t-w)
+		switch {
+		case i == 0 || i == steps:
+			integral += f
+		case i%2 == 1:
+			integral += 4 * f
+		default:
+			integral += 2 * f
+		}
+	}
+	integral *= h / 3
+	p := (1-pc)*m.serviceCDF(t) + integral
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// serviceCDF is the gamma-fit service-time CDF.
+func (m MGc) serviceCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if m.MeanService <= 0 {
+		return 1
+	}
+	if m.SCV < 1e-9 {
+		// Deterministic service: a step at the mean.
+		if t >= m.MeanService {
+			return 1
+		}
+		return 0
+	}
+	k := 1 / m.SCV
+	theta := m.MeanService * m.SCV
+	return stats.RegIncGammaLower(k, t/theta)
+}
+
+// SojournQuantile returns the q-quantile (0 < q < 1) of the sojourn time by
+// bisecting SojournCDF. +Inf when the system is unstable.
+func (m MGc) SojournQuantile(q float64) float64 {
+	if !m.Stable() {
+		return math.Inf(1)
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	// Bracket: mean sojourn plus enough exponential tail room. Double
+	// until the CDF crosses q, then bisect.
+	hi := m.MeanSojourn() * 2
+	if hi <= 0 {
+		return 0
+	}
+	for i := 0; i < 60 && m.SojournCDF(hi) < q; i++ {
+		hi *= 2
+	}
+	lo := 0.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if m.SojournCDF(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MinServers returns the smallest worker count whose p-quantile sojourn
+// stays at or below target seconds, searching up to max servers. It returns
+// 0 if even max servers cannot meet the target (or the inputs are
+// degenerate). This is the "how many workers for X jobs/s at Y p95" answer.
+func MinServers(lambda, meanService, scv, p, target float64, max int) int {
+	if meanService <= 0 || target <= 0 || max < 1 {
+		return 0
+	}
+	for c := 1; c <= max; c++ {
+		m := MGc{Lambda: lambda, Servers: c, MeanService: meanService, SCV: scv}
+		if !m.Stable() {
+			continue
+		}
+		if m.SojournQuantile(p) <= target {
+			return c
+		}
+	}
+	return 0
+}

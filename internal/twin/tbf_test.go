@@ -1,0 +1,120 @@
+package twin
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPredictTBFUnderloadIsClean(t *testing.T) {
+	p := PredictTBF(TBFParams{
+		Rate: 4e6, Burst: 3000, QueueLimit: 30000,
+		PacketSize: 1000, Offered: 2e6, Horizon: 10 * time.Second,
+	})
+	if p.LossRate != 0 || p.Drops || p.MeanQueueDelay != 0 {
+		t.Errorf("underload predicted impairment: %+v", p)
+	}
+}
+
+func TestPredictTBFPolicerHandComputed(t *testing.T) {
+	// R=250 kB/s, A=500 kB/s, B=1500, Q=0, P=1000, T=10 s.
+	// tFill = 1500/250000 = 6 ms; loss = 250000·9.994/5e6 = 0.4997;
+	// first drop at (B−P)/(A−R) = 500/250000 = 2 ms; no queue, no delay.
+	p := PredictTBF(TBFParams{
+		Rate: 2e6, Burst: 1500, QueueLimit: 0,
+		PacketSize: 1000, Offered: 4e6, Horizon: 10 * time.Second,
+	})
+	if math.Abs(p.LossRate-0.4997) > 1e-9 {
+		t.Errorf("loss = %v, want 0.4997", p.LossRate)
+	}
+	if !p.Drops || p.FirstDrop != 2*time.Millisecond {
+		t.Errorf("first drop = %v (drops=%v), want 2ms", p.FirstDrop, p.Drops)
+	}
+	if p.MeanQueueDelay != 0 {
+		t.Errorf("pure policer predicted queue delay %v", p.MeanQueueDelay)
+	}
+}
+
+func TestPredictTBFShaperDelayPhases(t *testing.T) {
+	// Same point with a 60 kB queue: steady-state per-packet delay is
+	// Q/R = 240 ms; the horizon mean must sit between the phase-2 average
+	// Q/2R and that ceiling, and loss must shrink vs the policer.
+	shaper := PredictTBF(TBFParams{
+		Rate: 2e6, Burst: 1500, QueueLimit: 60000,
+		PacketSize: 1000, Offered: 4e6, Horizon: 10 * time.Second,
+	})
+	steady := 240 * time.Millisecond
+	if shaper.MeanQueueDelay <= steady/2 || shaper.MeanQueueDelay >= steady {
+		t.Errorf("mean delay = %v, want in (120ms, 240ms)", shaper.MeanQueueDelay)
+	}
+	// tFill = 61500/250000 = 246 ms → loss = 250000·(10−0.246)/5e6.
+	wantLoss := 250000 * (10 - 0.246) / 5e6
+	if math.Abs(shaper.LossRate-wantLoss) > 1e-9 {
+		t.Errorf("loss = %v, want %v", shaper.LossRate, wantLoss)
+	}
+	// First drop once the queue holds Q−P: (1500+60000−1000)/250000 = 242 ms.
+	if want := 242 * time.Millisecond; shaper.FirstDrop != want {
+		t.Errorf("first drop = %v, want %v", shaper.FirstDrop, want)
+	}
+}
+
+func TestPredictTBFLossTendsToOneMinusInverseRho(t *testing.T) {
+	// As the horizon grows the transient burst credit washes out and loss
+	// approaches 1 − 1/ρ.
+	params := TBFParams{
+		Rate: 2e6, Burst: 15000, QueueLimit: 30000,
+		PacketSize: 1000, Offered: 3.6e6, // ρ = 1.8
+	}
+	params.Horizon = 1000 * time.Second
+	p := PredictTBF(params)
+	want := 1 - 1/1.8
+	if math.Abs(p.LossRate-want) > 1e-3 {
+		t.Errorf("asymptotic loss = %v, want ≈%v", p.LossRate, want)
+	}
+	// And it must increase with the horizon (transient-free share grows).
+	params.Horizon = 10 * time.Second
+	if short := PredictTBF(params); short.LossRate >= p.LossRate {
+		t.Errorf("loss did not grow with horizon: %v then %v", short.LossRate, p.LossRate)
+	}
+}
+
+func TestPredictTBFZeroRateBlackhole(t *testing.T) {
+	// Mirrors netsim's zero-rate semantics (TestRateLimiterZeroRateTerminates):
+	// 20 packets of 1000 B offered over 20 ms, burst 3000 → 3 forward, 17 drop.
+	offered := 20 * 1000 * 8 / 0.020 // bits/s over the arrival window
+	p := PredictTBF(TBFParams{
+		Rate: 0, Burst: 3000, QueueLimit: 60000,
+		PacketSize: 1000, Offered: offered, Horizon: 20 * time.Millisecond,
+	})
+	if want := 17.0 / 20; math.Abs(p.LossRate-want) > 1e-9 {
+		t.Errorf("loss = %v, want %v", p.LossRate, want)
+	}
+	if !p.Drops {
+		t.Error("zero-rate overload must drop")
+	}
+	// First drop when the 3-packet burst is spent: 3000 B at 1 MB/s = 3 ms.
+	if want := 3 * time.Millisecond; p.FirstDrop != want {
+		t.Errorf("first drop = %v, want %v", p.FirstDrop, want)
+	}
+}
+
+func TestPredictTBFOversizedPacketDropsEverything(t *testing.T) {
+	p := PredictTBF(TBFParams{
+		Rate: 2e6, Burst: 500, QueueLimit: 60000,
+		PacketSize: 1500, Offered: 1e6, Horizon: time.Second,
+	})
+	if p.LossRate != 1 || !p.Drops || p.FirstDrop != 0 {
+		t.Errorf("oversized packets: %+v, want total loss from t=0", p)
+	}
+}
+
+func TestPredictTBFDegenerateInputs(t *testing.T) {
+	if p := PredictTBF(TBFParams{}); p != (TBFPrediction{}) {
+		t.Errorf("zero params: %+v, want zero prediction", p)
+	}
+	p := PredictTBF(TBFParams{Rate: 1e6, Burst: 1500, PacketSize: 1000,
+		Offered: 2e6, Horizon: 0})
+	if p != (TBFPrediction{}) {
+		t.Errorf("zero horizon: %+v, want zero prediction", p)
+	}
+}

@@ -1,0 +1,184 @@
+package validate
+
+import (
+	"errors"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/measure"
+	"github.com/nal-epfl/wehey/internal/simcache"
+)
+
+// Cache stamps: bump on any change to the drivers, the spec encoding, or
+// the value encoding — a stale entry must never be indistinguishable from
+// a fresh run.
+const (
+	tbfCacheSchema = "wehey/twincache/tbf/v1"
+	mg1CacheSchema = "wehey/twincache/mg1/v1"
+)
+
+// Cache memoizes validation-point ground truth, keyed by the full point
+// spec. Points are deterministic in their spec (seeded arrivals, seeded
+// service draws), so a cached measurement is exactly a rerun — warm
+// validation sweeps only pay for the analytical side.
+type Cache struct {
+	tbf *simcache.Cache[TBFMeasurement]
+	mg1 *simcache.Cache[MG1Summary]
+}
+
+// NewCache returns an in-memory cache.
+func NewCache() *Cache {
+	return &Cache{tbf: simcache.New[TBFMeasurement](), mg1: simcache.New[MG1Summary]()}
+}
+
+// NewDiskCache returns a cache persisted under dir (one file per point,
+// shared with nothing else — the stamps namespace the keys).
+func NewDiskCache(dir string) (*Cache, error) {
+	tbf, err := simcache.NewDisk(dir, tbfCodec())
+	if err != nil {
+		return nil, err
+	}
+	mg1, err := simcache.NewDisk(dir, mg1Codec())
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{tbf: tbf, mg1: mg1}, nil
+}
+
+// Stats returns the combined counters over both point kinds.
+func (c *Cache) Stats() simcache.Stats {
+	t, m := c.tbf.Stats(), c.mg1.Stats()
+	return simcache.Stats{
+		Hits:     t.Hits + m.Hits,
+		DiskHits: t.DiskHits + m.DiskHits,
+		Misses:   t.Misses + m.Misses,
+	}
+}
+
+// tbfPoint runs one TBF grid point through the cache.
+func (c *Cache) tbfPoint(pt TBFPoint) TBFMeasurement {
+	key := simcache.KeyOf(tbfCacheSchema, encodeTBFPoint(pt))
+	return c.tbf.Get(key, func() TBFMeasurement {
+		return RunTBFPoint(pt.Params, pt.Proc, pt.Seed)
+	})
+}
+
+// mg1Point runs one service grid point through the cache.
+func (c *Cache) mg1Point(pt MG1Point) MG1Summary {
+	key := simcache.KeyOf(mg1CacheSchema, encodeMG1Point(pt))
+	return c.mg1.Get(key, func() MG1Summary {
+		return RunMG1Point(pt)
+	})
+}
+
+// encodeTBFPoint canonically serializes the ground-truth-determining spec
+// fields (Name and Tol deliberately excluded: renaming a point or widening
+// a band must not invalidate its measurement).
+func encodeTBFPoint(pt TBFPoint) []byte {
+	b := make([]byte, 0, 64)
+	b = measure.AppendFloat64(b, pt.Params.Rate)
+	b = measure.AppendInt64(b, int64(pt.Params.Burst))
+	b = measure.AppendInt64(b, int64(pt.Params.QueueLimit))
+	b = measure.AppendInt64(b, int64(pt.Params.PacketSize))
+	b = measure.AppendFloat64(b, pt.Params.Offered)
+	b = measure.AppendInt64(b, int64(pt.Params.Horizon))
+	b = measure.AppendString(b, string(pt.Proc))
+	b = measure.AppendInt64(b, pt.Seed)
+	return b
+}
+
+func tbfCodec() simcache.Codec[TBFMeasurement] {
+	return simcache.Codec[TBFMeasurement]{
+		Encode: func(m TBFMeasurement) []byte {
+			b := make([]byte, 0, 32)
+			b = measure.AppendFloat64(b, m.LossRate)
+			b = measure.AppendInt64(b, int64(m.MeanQueueDelay))
+			drops := int64(0)
+			if m.Drops {
+				drops = 1
+			}
+			b = measure.AppendInt64(b, drops)
+			b = measure.AppendInt64(b, int64(m.FirstDrop))
+			return b
+		},
+		Decode: func(b []byte) (TBFMeasurement, error) {
+			var m TBFMeasurement
+			var err error
+			var v int64
+			if m.LossRate, b, err = measure.DecodeFloat64(b); err != nil {
+				return m, err
+			}
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			m.MeanQueueDelay = time.Duration(v)
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			m.Drops = v != 0
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			m.FirstDrop = time.Duration(v)
+			if len(b) != 0 {
+				return m, errors.New("twincache: trailing bytes in TBF entry")
+			}
+			return m, nil
+		},
+	}
+}
+
+// encodeMG1Point canonically serializes an MG1 point spec.
+func encodeMG1Point(pt MG1Point) []byte {
+	b := make([]byte, 0, 64)
+	b = measure.AppendInt64(b, int64(pt.Servers))
+	b = measure.AppendFloat64(b, pt.Lambda)
+	b = measure.AppendFloat64(b, pt.MeanService)
+	b = measure.AppendFloat64(b, pt.SCV)
+	b = measure.AppendInt64(b, int64(pt.Jobs))
+	b = measure.AppendInt64(b, pt.Seed)
+	return b
+}
+
+func mg1Codec() simcache.Codec[MG1Summary] {
+	return simcache.Codec[MG1Summary]{
+		Encode: func(s MG1Summary) []byte {
+			b := make([]byte, 0, 40)
+			b = measure.AppendInt64(b, int64(s.Jobs))
+			exact := int64(0)
+			if s.ExactSchedule {
+				exact = 1
+			}
+			b = measure.AppendInt64(b, exact)
+			b = measure.AppendFloat64(b, s.MeanSojourn)
+			b = measure.AppendFloat64(b, s.P50)
+			b = measure.AppendFloat64(b, s.P95)
+			return b
+		},
+		Decode: func(b []byte) (MG1Summary, error) {
+			var s MG1Summary
+			var err error
+			var v int64
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return s, err
+			}
+			s.Jobs = int(v)
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return s, err
+			}
+			s.ExactSchedule = v != 0
+			if s.MeanSojourn, b, err = measure.DecodeFloat64(b); err != nil {
+				return s, err
+			}
+			if s.P50, b, err = measure.DecodeFloat64(b); err != nil {
+				return s, err
+			}
+			if s.P95, b, err = measure.DecodeFloat64(b); err != nil {
+				return s, err
+			}
+			if len(b) != 0 {
+				return s, errors.New("twincache: trailing bytes in MG1 entry")
+			}
+			return s, nil
+		},
+	}
+}

@@ -1,0 +1,227 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/experiments"
+	"github.com/nal-epfl/wehey/internal/twin"
+)
+
+// TBFReport is one TBF grid point's verdict: prediction, measurement, and
+// the tolerance violations (empty = the twin and the simulator agree).
+type TBFReport struct {
+	Point      TBFPoint
+	Pred       twin.TBFPrediction
+	Meas       TBFMeasurement
+	Violations []string
+}
+
+// MG1Report is one service-model point's verdict.
+type MG1Report struct {
+	Point                      MG1Point
+	PredMean, PredP50, PredP95 float64
+	Meas                       MG1Summary
+	Violations                 []string
+}
+
+// Report is a full sweep's outcome.
+type Report struct {
+	TBF []TBFReport
+	MG1 []MG1Report
+}
+
+// ViolationCount sums tolerance violations across both sweeps.
+func (r Report) ViolationCount() int {
+	n := 0
+	for _, p := range r.TBF {
+		n += len(p.Violations)
+	}
+	for _, p := range r.MG1 {
+		n += len(p.Violations)
+	}
+	return n
+}
+
+// EvalTBFPoint measures one grid point (through the cache when one is
+// given) and checks it against the fluid model.
+func EvalTBFPoint(pt TBFPoint, cache *Cache) TBFReport {
+	var meas TBFMeasurement
+	if cache != nil {
+		meas = cache.tbfPoint(pt)
+	} else {
+		meas = RunTBFPoint(pt.Params, pt.Proc, pt.Seed)
+	}
+	pred := twin.PredictTBF(pt.Params)
+	r := TBFReport{Point: pt, Pred: pred, Meas: meas}
+
+	// Drops agreement: a model that predicts drops must see them in the
+	// sim. The converse is only a violation when the sim's loss exceeds
+	// the band — Poisson burstiness produces rare drops at ρ < 1 that a
+	// fluid model is structurally blind to, and the loss tolerance is the
+	// statement of how blind it is allowed to be.
+	if pred.Drops && !meas.Drops {
+		r.Violations = append(r.Violations, "drops: model predicts drops, sim saw none")
+	}
+	if !pred.Drops && meas.Drops && meas.LossRate > pt.Tol.Loss {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("drops: model predicts none, sim lost %.4f (> %.4f band)",
+				meas.LossRate, pt.Tol.Loss))
+	}
+	if d := math.Abs(pred.LossRate - meas.LossRate); d > pt.Tol.Loss {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("loss: model %.4f, sim %.4f (|Δ| %.4f > %.4f)",
+				pred.LossRate, meas.LossRate, d, pt.Tol.Loss))
+	}
+	if band := durBand(pred.MeanQueueDelay, meas.MeanQueueDelay, pt.Tol.DelayRel, pt.Tol.DelayAbs); band != "" {
+		r.Violations = append(r.Violations, "mean queue delay: "+band)
+	}
+	checkFirstDrop := pred.Drops && meas.Drops &&
+		(pt.Tol.FirstDropRel > 0 || pt.Tol.FirstDropAbs > 0)
+	if checkFirstDrop {
+		if band := durBand(pred.FirstDrop, meas.FirstDrop, pt.Tol.FirstDropRel, pt.Tol.FirstDropAbs); band != "" {
+			r.Violations = append(r.Violations, "first drop: "+band)
+		}
+	}
+	return r
+}
+
+// durBand checks |pred−meas| ≤ max(abs, rel·max(pred, meas)) and renders
+// the violation when it fails ("" = within band).
+func durBand(pred, meas time.Duration, rel float64, abs time.Duration) string {
+	diff := pred - meas
+	if diff < 0 {
+		diff = -diff
+	}
+	allowed := abs
+	bigger := pred
+	if meas > bigger {
+		bigger = meas
+	}
+	if relBand := time.Duration(rel * float64(bigger)); relBand > allowed {
+		allowed = relBand
+	}
+	if diff <= allowed {
+		return ""
+	}
+	return fmt.Sprintf("model %v, sim %v (|Δ| %v > %v)", pred, meas, diff, allowed)
+}
+
+// EvalMG1Point measures one service point (through the cache when one is
+// given) and checks it against the M/G/c model.
+func EvalMG1Point(pt MG1Point, cache *Cache) MG1Report {
+	var meas MG1Summary
+	if cache != nil {
+		meas = cache.mg1Point(pt)
+	} else {
+		meas = RunMG1Point(pt)
+	}
+	m := twin.MGc{Lambda: pt.Lambda, Servers: pt.Servers, MeanService: pt.MeanService, SCV: pt.SCV}
+	r := MG1Report{
+		Point:    pt,
+		PredMean: m.MeanSojourn(),
+		PredP50:  m.SojournQuantile(0.50),
+		PredP95:  m.SojournQuantile(0.95),
+		Meas:     meas,
+	}
+	if !meas.ExactSchedule {
+		r.Violations = append(r.Violations,
+			"scheduler sojourns diverged from the FIFO reference schedule")
+	}
+	check := func(name string, pred, got, tol float64) {
+		if pred <= 0 {
+			return
+		}
+		if d := math.Abs(pred-got) / pred; d > tol {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("%s: model %.4fs, sim %.4fs (rel Δ %.3f > %.3f)", name, pred, got, d, tol))
+		}
+	}
+	check("mean sojourn", r.PredMean, meas.MeanSojourn, pt.Tol.MeanRel)
+	check("p50 sojourn", r.PredP50, meas.P50, pt.Tol.P50Rel)
+	check("p95 sojourn", r.PredP95, meas.P95, pt.Tol.P95Rel)
+	return r
+}
+
+// DefaultMG1Points returns the standard service-model validation points:
+// M/M/1 at three utilizations, an M/M/4 pool, and a deterministic-service
+// M/D/1 — each a few thousand jobs, enough for stable p95s under the
+// stated bands.
+func DefaultMG1Points() []MG1Point {
+	// Queue waits are heavily autocorrelated (busy periods), so the
+	// effective sample size is far below the job count; high-ρ points get
+	// more jobs AND wider bands — at ρ = 0.85 even 25k jobs leave several
+	// percent of quantile noise. The M/D/1 p50 band is the widest: the
+	// exponential-tail wait approximation is exact for M/M/c but
+	// mis-shapes the distribution body under deterministic service (a
+	// documented model limitation, see DESIGN.md), so its band covers the
+	// ~14% structural bias plus sampling noise.
+	low := MG1Tolerance{MeanRel: 0.08, P50Rel: 0.08, P95Rel: 0.08}
+	high := MG1Tolerance{MeanRel: 0.15, P50Rel: 0.12, P95Rel: 0.18}
+	return []MG1Point{
+		{Name: "mm1/rho0.3", Servers: 1, Lambda: 0.3, MeanService: 1, SCV: 1,
+			Jobs: 8000, Seed: 101, Tol: low},
+		{Name: "mm1/rho0.6", Servers: 1, Lambda: 0.6, MeanService: 1, SCV: 1,
+			Jobs: 12000, Seed: 102, Tol: low},
+		{Name: "mm1/rho0.85", Servers: 1, Lambda: 0.85, MeanService: 1, SCV: 1,
+			Jobs: 25000, Seed: 103, Tol: high},
+		{Name: "mm4/rho0.85", Servers: 4, Lambda: 3.4, MeanService: 1, SCV: 1,
+			Jobs: 20000, Seed: 104, Tol: high},
+		{Name: "md1/rho0.6", Servers: 1, Lambda: 0.6, MeanService: 1, SCV: 0,
+			Jobs: 12000, Seed: 105,
+			Tol: MG1Tolerance{MeanRel: 0.08, P50Rel: 0.25, P95Rel: 0.12}},
+	}
+}
+
+// Run sweeps the default TBF grid and MG1 points with the given worker
+// parallelism, caching ground truth through cache when it is non-nil.
+func Run(cache *Cache, workers int) Report {
+	grid := DefaultTBFGrid()
+	points := DefaultMG1Points()
+	return Report{
+		TBF: experiments.ForEach(len(grid), workers, func(i int) TBFReport {
+			return EvalTBFPoint(grid[i], cache)
+		}),
+		MG1: experiments.ForEach(len(points), workers, func(i int) MG1Report {
+			return EvalMG1Point(points[i], cache)
+		}),
+	}
+}
+
+// Render formats the report as a fixed-order text table, one line per
+// point, with violations spelled out underneath — the wehey-twin CLI and
+// the CI job print this.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TBF fluid model vs netsim (%d points)\n", len(r.TBF))
+	for _, p := range r.TBF {
+		status := "ok"
+		if len(p.Violations) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-34s %-4s loss %.4f/%.4f  delay %v/%v\n",
+			p.Point.Name, status, p.Pred.LossRate, p.Meas.LossRate,
+			p.Pred.MeanQueueDelay.Round(time.Microsecond),
+			p.Meas.MeanQueueDelay.Round(time.Microsecond))
+		for _, v := range p.Violations {
+			fmt.Fprintf(&b, "      violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "M/G/c model vs service scheduler (%d points)\n", len(r.MG1))
+	for _, p := range r.MG1 {
+		status := "ok"
+		if len(p.Violations) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-34s %-4s mean %.3f/%.3f  p50 %.3f/%.3f  p95 %.3f/%.3f\n",
+			p.Point.Name, status, p.PredMean, p.Meas.MeanSojourn,
+			p.PredP50, p.Meas.P50, p.PredP95, p.Meas.P95)
+		for _, v := range p.Violations {
+			fmt.Fprintf(&b, "      violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "violations: %d\n", r.ViolationCount())
+	return b.String()
+}
