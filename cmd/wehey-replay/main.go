@@ -174,7 +174,7 @@ func runSimClient(servers []string, dur time.Duration) {
 	for i, conn := range conns {
 		hello := transport.HelloPacket(uint32(i + 1))
 		for k := 0; k < 3; k++ {
-			conn.Write(hello) //lint:ignore errcheck hello datagrams are fire-and-forget; loss is retried
+			conn.Write(hello) // hello datagrams are fire-and-forget; loss is retried
 		}
 	}
 	fmt.Printf("both paths opened within %v\n", clock.Since(start))
@@ -187,7 +187,7 @@ func runSimClient(servers []string, dur time.Duration) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			receivers[i].Serve(ctx) //lint:ignore errcheck serve ends with the context deadline
+			receivers[i].Serve(ctx) // serve ends with the context deadline
 		}()
 	}
 	wg.Wait()
@@ -208,7 +208,7 @@ func runClient(server string, dur time.Duration) {
 
 	hello := transport.HelloPacket(1)
 	for i := 0; i < 3; i++ {
-		conn.Write(hello) //lint:ignore errcheck hello datagrams are fire-and-forget; loss is retried
+		conn.Write(hello) // hello datagrams are fire-and-forget; loss is retried
 		time.Sleep(20 * time.Millisecond)
 	}
 

@@ -77,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wehey-serve: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		srv.Shutdown(shutCtx) //lint:ignore errcheck best-effort drain; the scheduler close below is what preserves state
+		srv.Shutdown(shutCtx) // best-effort drain; the scheduler close below is what preserves state
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "wehey-serve: %v\n", err)

@@ -81,7 +81,7 @@ func submit(ctx context.Context, c *service.Client, args []string) {
 		duration = fs.Duration("duration", 0, "replay duration (0 = backend default)")
 		wait     = fs.Bool("wait", false, "poll until the job is terminal")
 	)
-	fs.Parse(args) //lint:ignore errcheck ExitOnError: Parse never returns an error
+	fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	spec := service.Spec{
 		Backend:     *backend,
@@ -124,7 +124,7 @@ func needID(args []string) {
 func printJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //lint:ignore errcheck stdout write failures have no recovery path here
+	enc.Encode(v) // stdout write failures have no recovery path here
 }
 
 func usage() {

@@ -62,7 +62,7 @@ func tbfCmd(args []string) {
 	offered := fs.Float64("offered", 3e6, "offered load in bits/s")
 	horizon := fs.Duration("horizon", 10*time.Second, "observation window")
 	check := fs.Bool("check", false, "also run the packet simulator on this point")
-	fs.Parse(args) //lint:ignore errcheck ExitOnError flag sets cannot return an error
+	fs.Parse(args) // ExitOnError flag sets cannot return an error
 
 	params := twin.TBFParams{
 		Rate: *rate, Burst: *burst, QueueLimit: *queue,
@@ -95,7 +95,7 @@ func capacityCmd(args []string) {
 	scv := fs.Float64("scv", 1, "service-time squared coefficient of variation")
 	workers := fs.Int("workers", 4, "worker pool size to evaluate")
 	p95 := fs.Float64("p95", 0, "p95 sojourn target in seconds (0 = no sizing question)")
-	fs.Parse(args) //lint:ignore errcheck ExitOnError flag sets cannot return an error
+	fs.Parse(args) // ExitOnError flag sets cannot return an error
 
 	m := twin.MGc{Lambda: *lambda, Servers: *workers, MeanService: *mean, SCV: *scv}
 	fmt.Printf("workers %d at λ=%.3g jobs/s, E[S]=%.3gs, SCV=%.3g: utilization %.3f\n",
@@ -121,7 +121,7 @@ func validateCmd(args []string) {
 	cacheDir := fs.String("cache-dir", "", "disk cache for simulation ground truth (\"\" = in-memory only)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel sweep workers")
 	verbose := fs.Bool("v", false, "print every point, not just violations")
-	fs.Parse(args) //lint:ignore errcheck ExitOnError flag sets cannot return an error
+	fs.Parse(args) // ExitOnError flag sets cannot return an error
 
 	var cache *validate.Cache
 	var err error

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AnalyzerCacheKey guards the content-addressed simulation cache against
+// silent key collisions. A cache key is simcache.KeyOf(schemaStamp,
+// encode(spec)): if the encoder forgets a spec field, two runs that differ
+// in that field share a key and one silently reads the other's results; if
+// the spec struct gains a field (or changes a type) without a schema-stamp
+// bump, keys written by the old binary remain addressable by the new one
+// with a different meaning.
+//
+// The analyzer discovers every KeyOf call site in the module, resolves the
+// encoder function from the payload argument, and checks (a) the stamp is a
+// compile-time constant, (b) the encoder references every field of its spec
+// struct (recursively for nested named structs; using a whole nested struct
+// — &r.M1 — covers its subfields), and (c) the spec struct's recursive
+// field fingerprint matches the committed golden, so a struct edit without
+// a stamp bump fails the lint gate until `wehey-lint -write-golden` is run
+// alongside a new stamp.
+var AnalyzerCacheKey = &Analyzer{
+	Name:      "cachekey",
+	Doc:       "cache-key encoders must cover every spec field, and spec changes must bump the schema stamp",
+	RunModule: runCacheKey,
+}
+
+// cacheKeySite is one discovered simcache.KeyOf call.
+type cacheKeySite struct {
+	node    *FuncNode // function containing the call
+	call    *ast.CallExpr
+	stamp   string       // constant value of the stamp argument
+	encoder *FuncNode    // module function producing the payload
+	spec    *types.Named // spec struct type taken by the encoder (may be nil)
+}
+
+func runCacheKey(mp *ModulePass) {
+	var sites []cacheKeySite
+	collectSites(mp, &sites)
+
+	for _, site := range sites {
+		if site.spec == nil {
+			continue // encoder takes no struct spec (raw bytes); nothing to cover
+		}
+		checkFieldCoverage(mp, site)
+	}
+	checkGolden(mp, sites)
+}
+
+func isSimcachePkg(path string) bool {
+	return path == "simcache" || strings.HasSuffix(path, "/simcache")
+}
+
+// encoderCallIn finds the module function call that produces the payload
+// expression: the outermost call within expr whose callee is a module
+// function.
+func encoderCallIn(m *Module, info *types.Info, expr ast.Expr) *FuncNode {
+	var found *FuncNode
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFuncOf(info, call); fn != nil {
+			if node := m.NodeOf(fn); node != nil {
+				found = node
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// specParamType returns the named struct type of the encoder's spec
+// parameter: the first parameter whose type is a named struct or a pointer
+// to one.
+func specParamType(enc *FuncNode) *types.Named {
+	sig, ok := enc.Fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// checkFieldCoverage verifies the encoder references every field of the
+// spec struct.
+func checkFieldCoverage(mp *ModulePass, site cacheKeySite) {
+	enc := site.encoder
+	var param types.Object
+	sig := enc.Fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if t == site.spec || types.Identical(t, site.spec) {
+			param = sig.Params().At(i)
+			break
+		}
+	}
+	if param == nil {
+		return
+	}
+
+	covered := make(map[string]bool) // selector paths relative to the param
+	whole := false                   // param used other than as a selector base
+	ast.Inspect(enc.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok {
+			if path, rooted := selectorPathFrom(enc.Pkg.Info, sel, param); rooted {
+				covered[path] = true
+				return false // subpaths of a recorded path are implied
+			}
+			return true
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent && enc.Pkg.Info.Uses[id] == param {
+			whole = true
+		}
+		return true
+	})
+	if whole {
+		return // param handed off wholesale (e.g. gob-encoded); all covered
+	}
+
+	missing := missingFields(site.spec, "", covered)
+	for _, f := range missing {
+		mp.Reportf(enc.Decl.Pos(),
+			"cache-key encoder %s does not reference field %s of %s; runs differing only in %s would collide in the cache",
+			mp.Module.FuncLabel(enc.Fn), f, site.spec.Obj().Name(), f)
+	}
+}
+
+// selectorPathFrom resolves a selector chain to a dotted field path rooted
+// at obj ("Params.Rate"); rooted is false when the chain starts elsewhere.
+func selectorPathFrom(info *types.Info, sel *ast.SelectorExpr, obj types.Object) (string, bool) {
+	var parts []string
+	cur := ast.Expr(sel)
+	for {
+		switch x := ast.Unparen(cur).(type) {
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			cur = x.X
+		case *ast.Ident:
+			if info.Uses[x] == obj {
+				return strings.Join(parts, "."), true
+			}
+			return "", false
+		case *ast.StarExpr:
+			cur = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// missingFields walks the spec struct recursively and returns the dotted
+// paths of fields the encoder never references. A covered prefix covers the
+// whole subtree.
+func missingFields(named *types.Named, prefix string, covered map[string]bool) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		path := f.Name()
+		if prefix != "" {
+			path = prefix + "." + f.Name()
+		}
+		if covered[path] {
+			continue
+		}
+		ft := f.Type()
+		if p, isPtr := ft.(*types.Pointer); isPtr {
+			ft = p.Elem()
+		}
+		if sub, isNamed := ft.(*types.Named); isNamed {
+			if _, isStruct := sub.Underlying().(*types.Struct); isStruct {
+				subMissing := missingFields(sub, path, covered)
+				if len(subMissing) < subFieldCount(sub) {
+					// Some subfields referenced individually; report only
+					// the genuinely missing ones.
+					out = append(out, subMissing...)
+					continue
+				}
+				// No subfield touched at all: report the field itself.
+				out = append(out, path)
+				continue
+			}
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+func subFieldCount(named *types.Named) int {
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		return st.NumFields()
+	}
+	return 0
+}
+
+// --- struct fingerprints and the committed golden ---
+
+// fingerprint computes a stable hash of the spec struct's recursive shape:
+// field names and types, in declaration order, recursing into named structs.
+// Over-approximate on purpose — every field participates, including ones an
+// encoder deliberately skips, so any struct edit shows up.
+func fingerprint(named *types.Named) string {
+	h := sha256.Sum256([]byte(structSig(named, make(map[*types.Named]bool))))
+	return hex.EncodeToString(h[:8])
+}
+
+func structSig(named *types.Named, seen map[*types.Named]bool) string {
+	if seen[named] {
+		return "<cycle>"
+	}
+	seen[named] = true
+	defer delete(seen, named)
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return named.String()
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		ft := f.Type()
+		base := ft
+		if p, isPtr := base.(*types.Pointer); isPtr {
+			base = p.Elem()
+		}
+		if sub, isNamed := base.(*types.Named); isNamed {
+			if _, isStruct := sub.Underlying().(*types.Struct); isStruct {
+				fmt.Fprintf(&b, "%s %s;", f.Name(), structSig(sub, seen))
+				continue
+			}
+		}
+		fmt.Fprintf(&b, "%s %s;", f.Name(), ft.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// goldenEntry is one committed (spec type, stamp, fingerprint) triple.
+type goldenEntry struct {
+	typ   string // qualified name, e.g. internal/experiments.SimSpec
+	stamp string
+	fp    string
+}
+
+func specTypeName(m *Module, named *types.Named) string {
+	pkg := named.Obj().Pkg()
+	rel := ""
+	if pkg != nil {
+		rel = pkg.Path()
+		for _, p := range m.Pkgs {
+			if p.Pkg == pkg {
+				rel = p.RelPath
+				break
+			}
+		}
+	}
+	if rel == "" {
+		return named.Obj().Name()
+	}
+	return rel + "." + named.Obj().Name()
+}
+
+// currentGoldenEntries derives the golden content from the discovered call
+// sites, deduplicated and sorted.
+func currentGoldenEntries(m *Module, sites []cacheKeySite) []goldenEntry {
+	seen := make(map[string]bool)
+	var out []goldenEntry
+	for _, s := range sites {
+		if s.spec == nil {
+			continue
+		}
+		e := goldenEntry{typ: specTypeName(m, s.spec), stamp: s.stamp, fp: fingerprint(s.spec)}
+		key := e.typ + "\x00" + e.stamp
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].typ != out[j].typ {
+			return out[i].typ < out[j].typ
+		}
+		return out[i].stamp < out[j].stamp
+	})
+	return out
+}
+
+// FormatCacheKeyGolden renders the golden file content for the module's
+// current spec structs (used by `wehey-lint -write-golden`).
+func FormatCacheKeyGolden(m *Module) string {
+	sites := collectCacheKeySites(m)
+	var b strings.Builder
+	b.WriteString("# Spec-struct fingerprints for the cachekey analyzer.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/wehey-lint -write-golden ./...\n")
+	for _, e := range currentGoldenEntries(m, sites) {
+		fmt.Fprintf(&b, "%s %s %s\n", e.typ, e.fp, e.stamp)
+	}
+	return b.String()
+}
+
+// collectCacheKeySites re-runs discovery without reporting (for golden
+// generation outside a lint pass).
+func collectCacheKeySites(m *Module) []cacheKeySite {
+	var sites []cacheKeySite
+	mp := &ModulePass{Analyzer: AnalyzerCacheKey, Module: m, Config: DefaultConfig(), report: func(Diagnostic) {}}
+	collectSites(mp, &sites)
+	return sites
+}
+
+// collectSites is the discovery half of runCacheKey, shared with golden
+// generation. Diagnostics about malformed sites go through mp.
+func collectSites(mp *ModulePass, out *[]cacheKeySite) {
+	m := mp.Module
+	for _, node := range m.nodes {
+		node := node
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFuncOf(node.Pkg.Info, call)
+			if fn == nil || fn.Name() != "KeyOf" || fn.Pkg() == nil || !isSimcachePkg(fn.Pkg().Path()) || len(call.Args) != 2 {
+				return true
+			}
+			site := cacheKeySite{node: node, call: call}
+			tv := node.Pkg.Info.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				mp.Reportf(call.Pos(), "KeyOf stamp must be a compile-time string constant so cache versioning is auditable")
+				return true
+			}
+			site.stamp = constant.StringVal(tv.Value)
+			enc := encoderCallIn(m, node.Pkg.Info, call.Args[1])
+			if enc == nil {
+				mp.Reportf(call.Pos(), "KeyOf payload is not built by a module encoder function; field coverage cannot be verified")
+				return true
+			}
+			site.encoder = enc
+			site.spec = specParamType(enc)
+			*out = append(*out, site)
+			return true
+		})
+	}
+}
+
+// checkGolden compares current spec fingerprints against the committed
+// golden file.
+func checkGolden(mp *ModulePass, sites []cacheKeySite) {
+	if mp.Config.CacheKeyGolden == "" {
+		return
+	}
+	path := mp.Config.CacheKeyGolden
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(mp.Dir, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // no golden committed: fingerprint checking disabled
+	}
+	golden := make(map[string]goldenEntry) // keyed by type name
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			continue
+		}
+		golden[parts[0]] = goldenEntry{typ: parts[0], fp: parts[1], stamp: parts[2]}
+	}
+
+	for _, e := range currentGoldenEntries(mp.Module, sites) {
+		g, ok := golden[e.typ]
+		pos := cacheKeySitePos(mp.Module, sites, e.typ)
+		if !ok {
+			mp.Reportf(pos, "spec type %s has no entry in %s; run `go run ./cmd/wehey-lint -write-golden ./...`", e.typ, mp.Config.CacheKeyGolden)
+			continue
+		}
+		switch {
+		case g.fp == e.fp && g.stamp == e.stamp:
+			// In sync.
+		case g.fp != e.fp && g.stamp == e.stamp:
+			mp.Reportf(pos, "spec struct %s changed without a schema-stamp bump (stamp still %q); stale cache entries would be served — bump the stamp, then run -write-golden", e.typ, e.stamp)
+		default:
+			// Stamp moved (with or without a struct change): the golden
+			// just needs regenerating to re-pin the new pair.
+			mp.Reportf(pos, "golden entry for %s is stale (stamp or struct changed with a bump); run `go run ./cmd/wehey-lint -write-golden ./...`", e.typ)
+		}
+	}
+}
+
+// cacheKeySitePos finds a stable position to anchor a golden diagnostic:
+// the first KeyOf call site for the type.
+func cacheKeySitePos(m *Module, sites []cacheKeySite, typ string) token.Pos {
+	for _, s := range sites {
+		if s.spec == nil {
+			continue
+		}
+		if specTypeName(m, s.spec) == typ {
+			return s.call.Pos()
+		}
+	}
+	return token.NoPos
+}

@@ -1,0 +1,426 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Module is every loaded package of one Go module plus a static call graph
+// with per-function summaries. It is built once per driver run and shared
+// by all module analyzers; construction is a single pass over the ASTs.
+//
+// The graph is deliberately conservative in the quiet direction: only
+// statically resolvable calls become edges. Calls through interfaces,
+// function-typed variables, and method values have no edge — the callee is
+// unknown at analysis time, and assuming the worst would drown the repo in
+// false positives (every clk.Now() through the injected clock interface
+// would "reach" the wall clock). DESIGN.md §13 discusses the soundness gap;
+// the injected-clock and injected-rand contracts rely on exactly this
+// conservatism to stay clean.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	funcs map[*types.Func]*FuncNode
+	nodes []*FuncNode // deterministic order: package path, then position
+
+	// directives indexes every lint:ignore directive by file and line so
+	// taint analyzers can decide sink visibility (a suppressed sink is
+	// invisible at its call sites and must taint its callers).
+	directives map[string]map[int]map[string]bool
+
+	callersOf map[*types.Func][]callerEdge
+}
+
+// FuncNode is one module function or method with a body.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls are the statically resolved calls to other module functions,
+	// in source order. Calls inside function literals are attributed to
+	// the enclosing declaration.
+	Calls []CallEdge
+
+	// Direct facts, in source order.
+	WallSinks []SinkFact // time.Now / time.Since / time.Until
+	RandSinks []SinkFact // global math/rand draws, time-derived NewSource
+	Blocking  []SinkFact // channel ops, WaitGroup.Wait, Sleep, net/os/exec I/O
+}
+
+// CallEdge is one static call site to another module function.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+type callerEdge struct {
+	Caller *FuncNode
+	Pos    token.Pos
+}
+
+// SinkFact is one direct occurrence of an invariant-relevant operation.
+type SinkFact struct {
+	Desc string // "time.Now", "rand.Float64", "channel send", "os.WriteFile", ...
+	Pos  token.Pos
+}
+
+// FuncLabel renders a module-relative human label for a function:
+// "internal/netsim.(*Link).Send" or "internal/stats.Rank".
+func (m *Module) FuncLabel(fn *types.Func) string {
+	n := m.funcs[fn]
+	rel := ""
+	if n != nil {
+		rel = n.Pkg.RelPath
+	} else if fn.Pkg() != nil {
+		rel = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := recv.(*types.Pointer); isPtr {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			name = "(" + ptr + named.Obj().Name() + ")." + name
+		}
+	}
+	if rel == "" {
+		return name
+	}
+	return rel + "." + name
+}
+
+// Nodes returns every function node in deterministic order.
+func (m *Module) Nodes() []*FuncNode { return m.nodes }
+
+// NodeOf returns the node for fn, or nil for non-module functions.
+func (m *Module) NodeOf(fn *types.Func) *FuncNode { return m.funcs[fn] }
+
+// suppressedAt reports whether a lint:ignore directive for analyzer covers
+// line of file (directives cover their own line and the line below).
+func (m *Module) suppressedAt(analyzer, file string, line int) bool {
+	byLine := m.directives[file]
+	if byLine == nil {
+		return false
+	}
+	return byLine[line][analyzer] || byLine[line-1][analyzer]
+}
+
+// BuildModule constructs the call graph and per-function summaries over
+// pkgs (as returned by Load).
+func BuildModule(fset *token.FileSet, pkgs []*Package) *Module {
+	m := &Module{
+		Fset:       fset,
+		Pkgs:       pkgs,
+		funcs:      make(map[*types.Func]*FuncNode),
+		directives: make(map[string]map[int]map[string]bool),
+		callersOf:  make(map[*types.Func][]callerEdge),
+	}
+
+	// Pass 1: one node per declared function/method with a body, and the
+	// directive index.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range parseIgnores(fset, f, func(Diagnostic) {}) {
+				byLine := m.directives[d.file]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					m.directives[d.file] = byLine
+				}
+				if byLine[d.line] == nil {
+					byLine[d.line] = make(map[string]bool)
+				}
+				byLine[d.line][d.analyzer] = true
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				m.funcs[fn] = node
+				m.nodes = append(m.nodes, node)
+			}
+		}
+	}
+	sort.Slice(m.nodes, func(i, j int) bool {
+		a, b := m.nodes[i], m.nodes[j]
+		if a.Pkg.ImportPath != b.Pkg.ImportPath {
+			return a.Pkg.ImportPath < b.Pkg.ImportPath
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+
+	// Pass 2: fill edges and direct facts.
+	for _, node := range m.nodes {
+		m.summarize(node)
+		for _, e := range node.Calls {
+			m.callersOf[e.Callee] = append(m.callersOf[e.Callee], callerEdge{Caller: node, Pos: e.Pos})
+		}
+	}
+	return m
+}
+
+// summarize walks one function body collecting call edges and direct
+// facts. Function literals are attributed to the enclosing declaration.
+func (m *Module) summarize(node *FuncNode) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			m.summarizeCall(node, info, x)
+		case *ast.SendStmt:
+			node.Blocking = append(node.Blocking, SinkFact{Desc: "channel send", Pos: x.Arrow})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				node.Blocking = append(node.Blocking, SinkFact{Desc: "channel receive", Pos: x.OpPos})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				node.Blocking = append(node.Blocking, SinkFact{Desc: "select without default", Pos: x.Select})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					node.Blocking = append(node.Blocking, SinkFact{Desc: "range over channel", Pos: x.For})
+				}
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingStdlibOS lists the package-level os functions that perform file
+// system I/O. os.Getenv and friends are not here: they do not block.
+var blockingStdlibOS = map[string]bool{
+	"Chdir": true, "Create": true, "CreateTemp": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "Open": true, "OpenFile": true,
+	"ReadDir": true, "ReadFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Stat": true, "Symlink": true, "Truncate": true,
+	"WriteFile": true,
+}
+
+// summarizeCall classifies one call expression into an edge or a fact.
+func (m *Module) summarizeCall(node *FuncNode, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFuncOf(info, call)
+	if fn == nil {
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return
+	}
+	recv := recvNamed(fn)
+
+	switch pkg.Path() {
+	case "time":
+		if recv == "" && wallClockFuncs[fn.Name()] {
+			node.WallSinks = append(node.WallSinks, SinkFact{Desc: "time." + fn.Name(), Pos: call.Pos()})
+		}
+		if recv == "" && fn.Name() == "Sleep" {
+			node.Blocking = append(node.Blocking, SinkFact{Desc: "time.Sleep", Pos: call.Pos()})
+		}
+		return
+	case "math/rand", "math/rand/v2":
+		if recv == "" && globalRandFuncs[fn.Name()] {
+			node.RandSinks = append(node.RandSinks, SinkFact{Desc: "rand." + fn.Name(), Pos: call.Pos()})
+		}
+		if recv == "" && fn.Name() == "NewSource" && len(call.Args) > 0 && timeDerivedExpr(info, call.Args[0]) {
+			node.RandSinks = append(node.RandSinks, SinkFact{Desc: "rand.NewSource(wall clock)", Pos: call.Pos()})
+		}
+		return
+	case "sync":
+		// Cond.Wait releases the associated mutex while parked — it is the
+		// sanctioned block-under-lock pattern and never a fact. Mutex Lock
+		// acquisition is lock ordering, a different invariant; also skipped.
+		if recv == "WaitGroup" && fn.Name() == "Wait" {
+			node.Blocking = append(node.Blocking, SinkFact{Desc: "sync.WaitGroup.Wait", Pos: call.Pos()})
+		}
+		return
+	case "net", "net/http", "os/exec":
+		node.Blocking = append(node.Blocking, SinkFact{Desc: stdlibCallDesc(pkg.Path(), recv, fn.Name()), Pos: call.Pos()})
+		return
+	case "os":
+		if recv == "File" || (recv == "" && blockingStdlibOS[fn.Name()]) {
+			node.Blocking = append(node.Blocking, SinkFact{Desc: stdlibCallDesc("os", recv, fn.Name()), Pos: call.Pos()})
+		}
+		return
+	}
+
+	if callee, ok := m.funcs[fn]; ok {
+		node.Calls = append(node.Calls, CallEdge{Callee: callee.Fn, Pos: call.Pos()})
+	}
+}
+
+func stdlibCallDesc(pkg, recv, name string) string {
+	if recv != "" {
+		return pkg + "." + recv + "." + name
+	}
+	return pkg + "." + name
+}
+
+// recvNamed returns the bare receiver type name of a method ("File",
+// "WaitGroup"), or "" for package-level functions.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// reachInfo is one function's membership in a transitive-reachability
+// relation, with a deterministic witness chain to a sink.
+type reachInfo struct {
+	depth int
+	// sink is set on the node containing the direct fact.
+	sink SinkFact
+	// next is the callee one step closer to the sink (nil on sink nodes),
+	// nextPos the call site used as the witness.
+	next    *FuncNode
+	nextPos token.Pos
+}
+
+// reachability computes, for every node, whether it reaches a direct fact
+// (selected by facts) through module calls, where propagation from a
+// caller is permitted only when canPropagate(caller) holds. Sink nodes
+// (those with a direct fact) are always members; intermediate membership
+// additionally requires canPropagate of the intermediate node itself.
+//
+// The computation is a multi-source BFS over reverse call edges, giving
+// each member a minimal-depth witness path; ties break on source position
+// so the result is deterministic.
+func (m *Module) reachability(facts func(*FuncNode) []SinkFact, canPropagate func(*FuncNode) bool) map[*FuncNode]*reachInfo {
+	out := make(map[*FuncNode]*reachInfo)
+	var frontier []*FuncNode
+	for _, n := range m.nodes {
+		fs := facts(n)
+		if len(fs) == 0 {
+			continue
+		}
+		best := fs[0]
+		for _, f := range fs[1:] {
+			if f.Pos < best.Pos {
+				best = f
+			}
+		}
+		out[n] = &reachInfo{depth: 0, sink: best}
+		frontier = append(frontier, n)
+	}
+	depth := 0
+	for len(frontier) > 0 {
+		depth++
+		var next []*FuncNode
+		for _, n := range frontier {
+			if out[n].depth != depth-1 {
+				continue
+			}
+			if !canPropagate(n) {
+				continue
+			}
+			edges := append([]callerEdge(nil), m.callersOf[n.Fn]...)
+			sort.Slice(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+			for _, e := range edges {
+				if prev, ok := out[e.Caller]; ok {
+					// Keep the shallower witness; at equal depth keep the
+					// earlier call site.
+					if prev.depth < depth || (prev.depth == depth && prev.nextPos <= e.Pos) {
+						continue
+					}
+				}
+				out[e.Caller] = &reachInfo{depth: depth, next: n, nextPos: e.Pos}
+				next = append(next, e.Caller)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// witnessPath renders the chain from node down to its sink as PathSteps:
+// each intermediate step is (function, call-site position), the final step
+// the sink operation itself.
+func (m *Module) witnessPath(node *FuncNode, reach map[*FuncNode]*reachInfo) []PathStep {
+	var steps []PathStep
+	for n := node; n != nil; {
+		info := reach[n]
+		if info == nil {
+			break
+		}
+		if info.next == nil {
+			steps = append(steps, positionStep(m.Fset, m.FuncLabel(n.Fn), info.sink.Pos))
+			steps = append(steps, positionStep(m.Fset, info.sink.Desc, info.sink.Pos))
+			break
+		}
+		steps = append(steps, positionStep(m.Fset, m.FuncLabel(n.Fn), info.nextPos))
+		n = info.next
+	}
+	return steps
+}
+
+// timeDerivedExpr reports whether expr contains a call into package time —
+// the free-function twin of Pass.timeDerived, usable from module passes.
+func timeDerivedExpr(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if fn := calleeFuncOf(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// GraphStats summarizes the call graph for -graph output.
+type GraphStats struct {
+	Packages  int
+	Functions int
+	Edges     int
+}
+
+// Stats returns call-graph size counters.
+func (m *Module) Stats() GraphStats {
+	edges := 0
+	for _, n := range m.nodes {
+		edges += len(n.Calls)
+	}
+	return GraphStats{Packages: len(m.Pkgs), Functions: len(m.nodes), Edges: edges}
+}
+
+// relPathOfPkg returns the module-relative path of the package owning a
+// node (convenience for scope checks).
+func (n *FuncNode) relPath() string { return n.Pkg.RelPath }
+
+// inScope reports whether rel is covered by scope (same semantics as
+// pathIn, named for readability at call-graph call sites).
+func inScope(rel string, scope []string) bool { return pathIn(rel, scope) }

@@ -17,6 +17,25 @@ type Config struct {
 	// simulator, experiments, stats, and the top-level binaries — runs in
 	// simulated or injected time.
 	WalltimeAllow []string
+	// WalltimeScope lists the layers where taint-mode walltime reports
+	// call sites whose callee transitively reaches the wall clock. The
+	// syntactic pass already covers direct reads everywhere outside
+	// WalltimeAllow; the taint pass additionally polices the deterministic
+	// core against indirect reads through helper packages or locally
+	// suppressed sinks.
+	WalltimeScope []string
+	// PktLifeScope lists the packages whose functions are checked for
+	// packet lifecycle violations (use-after-free, double-free, leaked
+	// drop paths) against the netsim Engine freelist.
+	PktLifeScope []string
+	// LockHeldScope lists the packages in which holding a mutex across a
+	// (transitively) blocking call is reported.
+	LockHeldScope []string
+	// CacheKeyGolden is the path, relative to the module root, of the
+	// committed spec-struct fingerprint golden the cachekey analyzer
+	// checks. Empty or missing file disables the fingerprint check (field
+	// coverage still runs).
+	CacheKeyGolden string
 }
 
 // DefaultConfig encodes this repository's layering: the simulator and the
@@ -44,6 +63,23 @@ func DefaultConfig() *Config {
 			"internal/testbed",
 			"internal/transport",
 		},
+		WalltimeScope: []string{
+			"internal/core",
+			"internal/experiments",
+			"internal/isp",
+			"internal/measure",
+			"internal/netsim",
+			"internal/service",
+			"internal/stats",
+			"internal/tomo",
+			"internal/topology",
+			"internal/trace",
+			"internal/twin",
+			"internal/wehe",
+		},
+		PktLifeScope:   []string{"internal/netsim"},
+		LockHeldScope:  []string{"internal/service"},
+		CacheKeyGolden: "internal/analysis/cachekey.golden",
 	}
 }
 

@@ -1,0 +1,20 @@
+package analysis
+
+// AnalyzerDeadIgnore audits the suppressions themselves. A
+// `//lint:ignore <analyzer> <reason>` directive is dead when it names an
+// analyzer this suite does not implement (a leftover from another linter, or
+// a typo), or when the named analyzer ran and the directive suppressed
+// nothing — the code it excused has since been fixed or moved. Dead
+// directives are worse than noise: they read as an active, justified
+// exemption for a finding that no longer exists, and they mask typos that
+// would otherwise let a real finding through.
+//
+// The check is implemented by the driver after suppression matching (this
+// analyzer has no Run/RunModule of its own): it needs to know which
+// directives matched across the whole run. Directives naming a known
+// analyzer that was not part of the run are left alone — a single-analyzer
+// invocation must not condemn every other analyzer's suppressions.
+var AnalyzerDeadIgnore = &Analyzer{
+	Name: "deadignore",
+	Doc:  "every lint:ignore directive must name a real analyzer and suppress at least one finding",
+}

@@ -39,9 +39,10 @@ var globalRandFuncs = map[string]bool{
 // and replays on both paths of a localization topology see identical
 // pseudo-random schedules.
 var AnalyzerDetRand = &Analyzer{
-	Name: "detrand",
-	Doc:  "no global math/rand functions or time-derived rand.NewSource seeds in deterministic packages",
-	Run:  runDetRand,
+	Name:      "detrand",
+	Doc:       "no global math/rand functions or time-derived rand.NewSource seeds in deterministic packages, directly or through helper calls",
+	Run:       runDetRand,
+	RunModule: runDetRandTaint,
 }
 
 func runDetRand(p *Pass) {

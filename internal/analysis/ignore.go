@@ -10,7 +10,21 @@ import (
 type ignoreDirective struct {
 	analyzer string
 	reason   string
+	file     string
 	line     int
+	col      int
+	// used is set by the driver when the directive suppresses a finding;
+	// unused directives are dead and reported by the deadignore audit.
+	used bool
+}
+
+// Suppression is one live lint:ignore directive, as listed by
+// `wehey-lint -ignores`.
+type Suppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
 }
 
 const ignorePrefix = "lint:ignore"
@@ -41,22 +55,24 @@ func parseIgnores(fset *token.FileSet, file *ast.File, report func(Diagnostic)) 
 				})
 				continue
 			}
-			out = append(out, ignoreDirective{analyzer: name, reason: reason, line: pos.Line})
+			out = append(out, ignoreDirective{
+				analyzer: name,
+				reason:   reason,
+				file:     pos.Filename,
+				line:     pos.Line,
+				col:      pos.Column,
+			})
 		}
 	}
 	return out
 }
 
-// suppressed reports whether a diagnostic at line is covered by a directive:
-// either trailing on the same line or on its own line directly above.
-func suppressed(d Diagnostic, directives []ignoreDirective) bool {
-	for _, dir := range directives {
-		if dir.analyzer != d.Analyzer {
-			continue
-		}
-		if dir.line == d.Line || dir.line == d.Line-1 {
-			return true
-		}
+// suppresses reports whether the directive covers a diagnostic: same file,
+// same analyzer, and either trailing on the same line or on its own line
+// directly above.
+func (dir *ignoreDirective) suppresses(d *Diagnostic) bool {
+	if dir.analyzer != d.Analyzer || dir.file != d.File {
+		return false
 	}
-	return false
+	return dir.line == d.Line || dir.line == d.Line-1
 }

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerLockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held in the service layer. The scheduler serializes its
+// whole admission plane through s.mu; a channel send, a WaitGroup.Wait, or a
+// journal write that does file I/O under that lock turns one slow disk into
+// a stalled admission plane and, in the worst case, a deadlock with the
+// worker draining the same channel.
+//
+// The held-set tracking is intraprocedural (Lock/RLock add, Unlock/RUnlock
+// remove, a deferred Unlock holds to the end of the function); whether a
+// call blocks is interprocedural — a call into a module function whose body
+// transitively reaches a blocking operation counts, and the diagnostic
+// carries the chain. sync.Cond.Wait is exempt everywhere: it releases the
+// associated mutex while parked and is the sanctioned block-under-lock
+// pattern.
+var AnalyzerLockHeld = &Analyzer{
+	Name:      "lockheld",
+	Doc:       "no blocking calls while holding a mutex in the service layer",
+	RunModule: runLockHeld,
+}
+
+func runLockHeld(mp *ModulePass) {
+	m := mp.Module
+	// Every module function's transitive blocking reachability, with
+	// deterministic witness chains. Propagation is unrestricted: blocking
+	// is blocking no matter which package the frames live in.
+	reach := m.reachability(
+		func(n *FuncNode) []SinkFact { return n.Blocking },
+		func(n *FuncNode) bool { return true },
+	)
+
+	for _, node := range m.nodes {
+		if !inScope(node.relPath(), mp.Config.LockHeldScope) {
+			continue
+		}
+		lt := &lockTracker{mp: mp, node: node, reach: reach, held: make(map[string]token.Pos)}
+		lt.walkStmts(node.Decl.Body.List)
+	}
+}
+
+// lockTracker walks one function body in statement order carrying the set of
+// held mutexes, keyed by the receiver expression's source form ("s.mu").
+type lockTracker struct {
+	mp    *ModulePass
+	node  *FuncNode
+	reach map[*FuncNode]*reachInfo
+	held  map[string]token.Pos
+}
+
+// mutexMethod classifies a call as a sync mutex operation, returning the
+// method name and the receiver expression, or "".
+func (lt *lockTracker) mutexMethod(call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, _ := lt.node.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	recv := recvNamed(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), sel.X
+	}
+	return "", nil
+}
+
+// heldKeys returns the currently held mutexes in deterministic order.
+func (lt *lockTracker) heldKeys() []string {
+	keys := make([]string, 0, len(lt.held))
+	for k := range lt.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportBlocked emits one diagnostic per held mutex for a blocking event.
+func (lt *lockTracker) reportBlocked(pos token.Pos, desc string, path []PathStep) {
+	for _, key := range lt.heldKeys() {
+		lp := lt.mp.Module.Fset.Position(lt.held[key])
+		lt.mp.ReportPath(pos, path, "%s while holding %s (locked at %s:%d)", desc, key, lp.Filename, lp.Line)
+	}
+}
+
+// visitExpr scans an expression in source order for lock transitions and
+// blocking events.
+func (lt *lockTracker) visitExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A literal runs later (goroutine, callback) with its own lock
+			// discipline; do not confuse its ops with the enclosing frame's.
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(lt.held) > 0 {
+				lt.reportBlocked(x.OpPos, "channel receive", nil)
+			}
+		case *ast.CallExpr:
+			lt.visitCall(x)
+			return false // visitCall recurses into arguments itself
+		}
+		return true
+	})
+}
+
+func (lt *lockTracker) visitCall(call *ast.CallExpr) {
+	// Arguments evaluate before the call.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		lt.visitExpr(sel.X)
+	}
+	for _, arg := range call.Args {
+		lt.visitExpr(arg)
+	}
+
+	if op, recv := lt.mutexMethod(call); op != "" {
+		key := types.ExprString(recv)
+		switch op {
+		case "Lock", "RLock":
+			lt.held[key] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(lt.held, key)
+		}
+		return
+	}
+	if len(lt.held) == 0 {
+		return
+	}
+
+	fn := calleeFuncOf(lt.node.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	m := lt.mp.Module
+	if callee := m.NodeOf(fn); callee != nil {
+		if info := lt.reach[callee]; info != nil {
+			path := append([]PathStep{positionStep(m.Fset, m.FuncLabel(lt.node.Fn), call.Pos())},
+				m.witnessPath(callee, lt.reach)...)
+			sink := path[len(path)-1]
+			lt.reportBlocked(call.Pos(), "call to "+m.FuncLabel(fn)+" blocks ("+sink.Func+")", path)
+		}
+		return
+	}
+	// Direct stdlib blocking calls were already classified as facts during
+	// summarization; match by position.
+	for _, f := range lt.node.Blocking {
+		if f.Pos == call.Pos() {
+			lt.reportBlocked(call.Pos(), f.Desc+" blocks", nil)
+			return
+		}
+	}
+}
+
+func (lt *lockTracker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		lt.walkStmt(s)
+	}
+}
+
+func (lt *lockTracker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		lt.visitExpr(x.X)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			lt.visitExpr(r)
+		}
+		for _, l := range x.Lhs {
+			lt.visitExpr(l)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lt.visitExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			lt.visitExpr(r)
+		}
+	case *ast.SendStmt:
+		lt.visitExpr(x.Value)
+		lt.visitExpr(x.Chan)
+		if len(lt.held) > 0 {
+			lt.reportBlocked(x.Arrow, "channel send", nil)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			lt.walkStmt(x.Init)
+		}
+		lt.visitExpr(x.Cond)
+		thenLt := lt.cloneHeld()
+		thenLt.walkStmts(x.Body.List)
+		if x.Else != nil {
+			elseLt := lt.cloneHeld()
+			elseLt.walkStmt(x.Else)
+			lt.held = intersectHeld(thenLt.held, elseLt.held)
+		} else {
+			lt.held = intersectHeld(thenLt.held, lt.held)
+		}
+	case *ast.BlockStmt:
+		lt.walkStmts(x.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			lt.walkStmt(x.Init)
+		}
+		lt.visitExpr(x.Tag)
+		lt.walkCaseBodies(x.Body.List)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			lt.walkStmt(x.Init)
+		}
+		lt.walkCaseBodies(x.Body.List)
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) && len(lt.held) > 0 {
+			lt.reportBlocked(x.Select, "select without default", nil)
+		}
+		lt.walkCaseBodies(x.Body.List)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			lt.walkStmt(x.Init)
+		}
+		lt.visitExpr(x.Cond)
+		body := lt.cloneHeld()
+		body.walkStmts(x.Body.List)
+		if x.Post != nil {
+			body.walkStmt(x.Post)
+		}
+		lt.held = intersectHeld(lt.held, body.held)
+	case *ast.RangeStmt:
+		lt.visitExpr(x.X)
+		if tv, ok := lt.node.Pkg.Info.Types[x.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(lt.held) > 0 {
+				lt.reportBlocked(x.For, "range over channel", nil)
+			}
+		}
+		body := lt.cloneHeld()
+		body.walkStmts(x.Body.List)
+		lt.held = intersectHeld(lt.held, body.held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under this frame's locks; its
+		// literal body, if any, is skipped by visitExpr.
+		for _, arg := range x.Call.Args {
+			lt.visitExpr(arg)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held for the rest of the
+		// function body — deliberately no delete here. Other deferred calls
+		// run after the body, outside the walk.
+		if op, _ := lt.mutexMethod(x.Call); op != "" {
+			return
+		}
+		for _, arg := range x.Call.Args {
+			lt.visitExpr(arg)
+		}
+	case *ast.LabeledStmt:
+		lt.walkStmt(x.Stmt)
+	case *ast.IncDecStmt:
+		lt.visitExpr(x.X)
+	}
+}
+
+// walkCaseBodies runs each clause from a copy of the pre-state and joins the
+// held sets by intersection (a mutex counts as held after the statement only
+// if every path kept it held — the quiet direction).
+func (lt *lockTracker) walkCaseBodies(clauses []ast.Stmt) {
+	result := lt.held
+	first := true
+	for _, c := range clauses {
+		ct := lt.cloneHeld()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				ct.visitExpr(e)
+			}
+			ct.walkStmts(cc.Body)
+		case *ast.CommClause:
+			// The comm op's blocking is the select's blocking, already
+			// reported once on the select; only the body runs afterwards.
+			ct.walkStmts(cc.Body)
+		}
+		if first {
+			result = ct.held
+			first = false
+		} else {
+			result = intersectHeld(result, ct.held)
+		}
+	}
+	lt.held = result
+}
+
+func (lt *lockTracker) cloneHeld() *lockTracker {
+	c := &lockTracker{mp: lt.mp, node: lt.node, reach: lt.reach, held: make(map[string]token.Pos, len(lt.held))}
+	for k, v := range lt.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func intersectHeld(a, b map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Fixture for the lockheld analyzer (run under internal/service). The
+// single-file package forms its own one-package module, so the transitive
+// case exercises the call graph: blockingHelper has the direct fact and
+// transitive's diagnostic carries the chain.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	data map[int]int
+}
+
+func blockingHelper(ch chan int, v int) {
+	ch <- v
+}
+
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *store) sleepUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep blocks while holding s.mu"
+}
+
+func (s *store) transitive(v int) {
+	s.mu.Lock()
+	blockingHelper(s.ch, v) // want "blockingHelper blocks"
+	s.mu.Unlock()
+}
+
+func (s *store) selectUnderRLock() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want "select without default while holding s.rw"
+	case v := <-s.ch:
+		s.data[v] = v
+	}
+}
+
+// unlockFirst releases before blocking: clean.
+func (s *store) unlockFirst(v int) {
+	s.mu.Lock()
+	s.data[v] = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// condWait is the sanctioned block-under-lock pattern: Cond.Wait releases
+// the mutex while parked. Clean.
+func (s *store) condWait() {
+	s.mu.Lock()
+	for len(s.data) == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// goroutineBody does not run under the spawning frame's lock: clean.
+func (s *store) goroutineBody(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+// receiveUnderLock drains with a non-blocking default: clean.
+func (s *store) receiveUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.data[v] = v
+	default:
+	}
+}

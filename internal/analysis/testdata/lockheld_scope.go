@@ -1,0 +1,16 @@
+// Scope fixture: a blocking send under a held mutex, run under
+// internal/stats — outside LockHeldScope — where it must stay quiet.
+package stats
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) outOfScope(v int) {
+	b.mu.Lock()
+	b.ch <- v
+	b.mu.Unlock()
+}

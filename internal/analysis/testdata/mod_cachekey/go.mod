@@ -1,0 +1,3 @@
+module example.com/ckmod
+
+go 1.22

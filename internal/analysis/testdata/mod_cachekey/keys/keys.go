@@ -1,0 +1,54 @@
+// Fixture specs for the cachekey analyzer: one encoder that misses a nested
+// field, one clean encoder, one non-constant stamp.
+package keys
+
+import "example.com/ckmod/simcache"
+
+const brokenSchema = "ckmod/broken/v1"
+const cleanSchema = "ckmod/clean/v1"
+
+type Params struct {
+	Rate  float64
+	Burst int
+}
+
+type BrokenSpec struct {
+	Name string
+	P    Params
+	Seed int64
+}
+
+type CleanSpec struct {
+	Label string
+	Jobs  int
+}
+
+func appendInt(b []byte, v int64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// encodeBroken covers Name, P.Burst and Seed but forgets P.Rate.
+func encodeBroken(s *BrokenSpec) []byte { // want "does not reference field P.Rate"
+	b := []byte(s.Name)
+	b = appendInt(b, int64(s.P.Burst))
+	b = appendInt(b, s.Seed)
+	return b
+}
+
+func encodeClean(s *CleanSpec) []byte {
+	b := []byte(s.Label)
+	return appendInt(b, int64(s.Jobs))
+}
+
+func BrokenKey(s *BrokenSpec) simcache.Key {
+	return simcache.KeyOf(brokenSchema, encodeBroken(s))
+}
+
+func CleanKey(s *CleanSpec) simcache.Key {
+	return simcache.KeyOf(cleanSchema, encodeClean(s))
+}
+
+// VarStampKey passes a non-constant stamp: versioning is unauditable.
+func VarStampKey(s *CleanSpec, stamp string) simcache.Key {
+	return simcache.KeyOf(stamp, encodeClean(s)) // want "compile-time string constant"
+}

@@ -1,0 +1,16 @@
+// Package simcache mirrors the repository's content-addressed cache API;
+// the analyzer discovers KeyOf call sites by the package path suffix.
+package simcache
+
+import "crypto/sha256"
+
+type Key [32]byte
+
+func KeyOf(stamp string, spec []byte) Key {
+	h := sha256.New()
+	h.Write([]byte(stamp))
+	h.Write(spec)
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}

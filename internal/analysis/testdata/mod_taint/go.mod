@@ -1,0 +1,3 @@
+module example.com/taintmod
+
+go 1.22

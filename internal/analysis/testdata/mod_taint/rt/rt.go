@@ -1,0 +1,7 @@
+// Package rt is the sanctioned real-time layer (WalltimeAllow): it neither
+// sinks nor propagates, so scoped callers may use it freely.
+package rt
+
+import "time"
+
+func Elapsed() int64 { return time.Now().Unix() }

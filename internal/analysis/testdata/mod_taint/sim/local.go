@@ -1,0 +1,29 @@
+// Suppression at the sink sanctions that one line, not its callers: every
+// scoped caller of the sinking function is reported and must justify (or
+// fix) itself. Propagation stops at scoped frames, so callers-of-callers
+// stay quiet.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func localDraw() float64 {
+	//lint:ignore detrand mirrors the recorded corpus distribution exactly
+	return rand.Float64()
+}
+
+func localStamp() int64 {
+	//lint:ignore walltime boot banner timestamp, never enters simulated state
+	return time.Now().Unix()
+}
+
+func UsesLocalDraw() float64 { return localDraw() } // want "transitively reaches the global math/rand source"
+
+func UsesLocalStamp() int64 { return localStamp() } // want "transitively reaches the wall clock"
+
+// CallerOfUser is one frame further: UsesLocalDraw is scoped and does not
+// propagate, so this stays clean (it has its own diagnostic to answer for
+// only if it calls the sink chain directly).
+func CallerOfUser() float64 { return UsesLocalDraw() }

@@ -1,0 +1,30 @@
+// Package sim is the scoped deterministic layer of the taint fixture.
+package sim
+
+import (
+	"example.com/taintmod/rt"
+	"example.com/taintmod/util"
+)
+
+type source interface{ Draw() float64 }
+
+func Run() float64 {
+	t := util.Stamp()     // want "transitively reaches the wall clock"
+	x := util.Draw()      // want "transitively reaches the global math/rand source"
+	y := util.Indirect()  // want "transitively reaches the global math/rand source"
+	z := util.Pure(x + y) // clean: no sink behind it
+	_ = rt.Elapsed()      // clean: sanctioned real-time layer
+	return float64(t) + z
+}
+
+// FromIface calls through an interface: no static callee, no edge, and —
+// deliberately — no finding. The injected-clock/injected-rand contracts
+// rely on this conservatism.
+func FromIface(s source) float64 { return s.Draw() }
+
+// Suppressed demonstrates suppression at the call site: the justification
+// lives with the caller that imports the nondeterminism.
+func Suppressed() float64 {
+	//lint:ignore detrand replay comparison draws against a recorded corpus
+	return util.Draw()
+}

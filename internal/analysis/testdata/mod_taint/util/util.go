@@ -1,0 +1,22 @@
+// Package util is the unscoped helper layer: its own wall-clock and global
+// rand uses are legal here, but calling into them from a scoped package
+// imports nondeterminism and is what taint mode reports.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 {
+	//lint:ignore walltime helper-local stamp, sanctioned for logging here
+	return time.Now().UnixNano()
+}
+
+func Draw() float64 { return rand.Float64() }
+
+// Indirect adds a hop so a taint path crosses two unscoped frames.
+func Indirect() float64 { return Draw() }
+
+// Pure reaches nothing; calls to it stay clean.
+func Pure(x float64) float64 { return x * 2 }

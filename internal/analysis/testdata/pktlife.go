@@ -1,0 +1,109 @@
+// Fixture for the pktlife analyzer (run under internal/netsim). A local
+// Engine/Packet pair mirrors the netsim freelist API: AllocPacket hands out
+// packets, FreePacket recycles them, and anything receiving a packet as an
+// argument takes ownership.
+package netsim
+
+// Packet mirrors netsim.Packet for the fixture.
+type Packet struct {
+	Size int
+	next *Packet
+}
+
+// Engine mirrors the netsim freelist owner.
+type Engine struct {
+	freelist *Packet
+}
+
+func (e *Engine) AllocPacket() *Packet {
+	if p := e.freelist; p != nil {
+		e.freelist = p.next
+		return p
+	}
+	return &Packet{}
+}
+
+func (e *Engine) FreePacket(p *Packet) {
+	p.next = e.freelist
+	e.freelist = p
+}
+
+// Link stands in for any ownership-taking consumer.
+type Link struct{}
+
+func (l *Link) Send(p *Packet) {}
+
+func doubleFree(e *Engine) {
+	p := e.AllocPacket()
+	e.FreePacket(p)
+	e.FreePacket(p) // want "double free of packet p"
+}
+
+func useAfterFree(e *Engine) int {
+	p := e.AllocPacket()
+	e.FreePacket(p)
+	return p.Size // want "use of packet p after FreePacket"
+}
+
+func sendAfterFree(e *Engine, l *Link) {
+	p := e.AllocPacket()
+	e.FreePacket(p)
+	l.Send(p) // want "use of packet p after FreePacket"
+}
+
+func leakOnEarlyReturn(e *Engine, full bool) {
+	p := e.AllocPacket()
+	if full {
+		return // want "neither freed nor handed off"
+	}
+	e.FreePacket(p)
+}
+
+func leakAtEnd(e *Engine) {
+	p := e.AllocPacket()
+	p.Size = 64
+} // want "neither freed nor handed off"
+
+// dropPath is the sanctioned drop sequence: hand the packet to the observer
+// (escape), then free it. The free after the escape is not a double free,
+// and a second free after it would be.
+func dropPath(e *Engine, l *Link) {
+	p := e.AllocPacket()
+	l.Send(p)
+	e.FreePacket(p)
+}
+
+// branchFree frees on the failure path and hands off on the success path;
+// the terminated branch stays out of the merge, so both paths are clean.
+func branchFree(e *Engine, l *Link, ok bool) {
+	p := e.AllocPacket()
+	if !ok {
+		e.FreePacket(p)
+		return
+	}
+	l.Send(p)
+}
+
+// deferFree discharges the obligation at exit.
+func deferFree(e *Engine) {
+	p := e.AllocPacket()
+	defer e.FreePacket(p)
+	p.Size++
+}
+
+// paramFree: parameters carry no leak obligation, and a single free of one
+// is the normal ownership transfer.
+func paramFree(e *Engine, p *Packet) {
+	p.Size = 0
+	e.FreePacket(p)
+}
+
+// loopAlloc: cross-iteration lifecycles are out of scope; the body's
+// alloc/free pairing is checked once and nothing leaks spuriously.
+func loopAlloc(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		p := e.AllocPacket()
+		p.Size = i
+		e.FreePacket(p)
+	}
+}

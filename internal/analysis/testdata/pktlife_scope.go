@@ -1,0 +1,16 @@
+// Scope fixture: the same double-free as pktlife.go, but run under
+// internal/stats — outside PktLifeScope — where it must stay quiet.
+package stats
+
+type Packet struct{ Size int }
+
+type Engine struct{ freelist *Packet }
+
+func (e *Engine) AllocPacket() *Packet { return &Packet{} }
+func (e *Engine) FreePacket(p *Packet) {}
+
+func outOfScope(e *Engine) {
+	p := e.AllocPacket()
+	e.FreePacket(p)
+	e.FreePacket(p)
+}

@@ -6,10 +6,11 @@ import (
 	"go/types"
 )
 
-// calleeFunc resolves a call expression to the package-level function or
+// calleeFuncOf resolves a call expression to the package-level function or
 // method object it invokes, or nil for builtins, conversions and calls
-// through function-typed variables.
-func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+// through function-typed variables. Free-function form usable from both
+// package passes and module passes.
+func calleeFuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -19,8 +20,13 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	fnObj, _ := p.Info.Uses[id].(*types.Func)
+	fnObj, _ := info.Uses[id].(*types.Func)
 	return fnObj
+}
+
+// calleeFunc is the Pass-bound form of calleeFuncOf.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	return calleeFuncOf(p.Info, call)
 }
 
 // isPkgFunc reports whether call invokes the package-level function

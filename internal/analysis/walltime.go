@@ -15,9 +15,10 @@ var wallClockFuncs = map[string]bool{
 // binaries route elapsed-time logging through internal/clock; a stray
 // time.Now couples simulation output to the machine it ran on.
 var AnalyzerWalltime = &Analyzer{
-	Name: "walltime",
-	Doc:  "no time.Now/time.Since outside the allowlisted real-clock layers",
-	Run:  runWalltime,
+	Name:      "walltime",
+	Doc:       "no time.Now/time.Since outside the allowlisted real-clock layers, directly or through helper calls",
+	Run:       runWalltime,
+	RunModule: runWalltimeTaint,
 }
 
 func runWalltime(p *Pass) {

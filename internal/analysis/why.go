@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// whyFamily is one fact family the -why mode explains.
+type whyFamily struct {
+	label string
+	facts func(*FuncNode) []SinkFact
+}
+
+var whyFamilies = []whyFamily{
+	{"wall clock", func(n *FuncNode) []SinkFact { return n.WallSinks }},
+	{"global math/rand", func(n *FuncNode) []SinkFact { return n.RandSinks }},
+	{"blocking call", func(n *FuncNode) []SinkFact { return n.Blocking }},
+}
+
+// Why renders, for every module function matching name (full label or any
+// suffix of one), which invariant-relevant operation families it
+// transitively reaches and a minimal witness chain for each. An empty slice
+// means nothing matched.
+func (m *Module) Why(name string) []string {
+	var out []string
+	for _, n := range m.nodes {
+		label := m.FuncLabel(n.Fn)
+		if label != name && !strings.HasSuffix(label, name) {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s (%d static callee(s))\n", label, len(n.Calls))
+		any := false
+		for _, fam := range whyFamilies {
+			reach := m.reachability(fam.facts, func(*FuncNode) bool { return true })
+			info := reach[n]
+			if info == nil {
+				continue
+			}
+			any = true
+			fmt.Fprintf(&b, "  reaches %s:\n", fam.label)
+			for _, s := range m.witnessPath(n, reach) {
+				fmt.Fprintf(&b, "    %s (%s:%d)\n", s.Func, s.File, s.Line)
+			}
+		}
+		if !any {
+			b.WriteString("  reaches none of: wall clock, global math/rand, blocking calls\n")
+		}
+		out = append(out, b.String())
+	}
+	return out
+}

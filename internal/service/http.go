@@ -197,7 +197,7 @@ func statusFor(err error) int {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //lint:ignore errcheck a failed response write leaves nothing to report to
+	json.NewEncoder(w).Encode(v) // a failed response write leaves nothing to report to
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

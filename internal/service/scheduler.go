@@ -254,7 +254,7 @@ func (s *Scheduler) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	if s.journal != nil {
-		s.journal.Close() //lint:ignore errcheck every record was fsynced at append time; close cannot lose data
+		s.journal.Close() // every record was fsynced at append time; close cannot lose data
 	}
 }
 
@@ -280,6 +280,7 @@ func (s *Scheduler) Submit(spec Spec) (Job, error) {
 	id := fmt.Sprintf("j%06d", seq)
 	j := s.newJob(id, seq, spec, s.clk.Now())
 	if s.journal != nil {
+		//lint:ignore lockheld journal append is deliberately under s.mu so durable record order matches admission order
 		if err := s.journal.Append(record{Op: recSubmit, ID: id, Seq: seq, Spec: &spec}); err != nil {
 			s.nextSeq = seq // not admitted: the ID was never durable
 			return Job{}, err
@@ -331,6 +332,7 @@ func (s *Scheduler) Cancel(id string) (Job, error) {
 		if j.heapIdx >= 0 {
 			heap.Remove(&s.pending, j.heapIdx)
 		}
+		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
 		s.finishLocked(j, StateCanceled, nil, "")
 	case StateWaitRetry:
 		if j.retryTimer != nil {
@@ -338,6 +340,7 @@ func (s *Scheduler) Cancel(id string) (Job, error) {
 			j.retryTimer = nil
 		}
 		s.c.waitRetry--
+		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
 		s.finishLocked(j, StateCanceled, nil, "")
 	case StateRunning:
 		j.userCancel = true
@@ -471,8 +474,10 @@ func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
 		s.c.svcTotalSec += sec
 		s.c.svcTotalSqSec += sec * sec
 		j.Result = res
+		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
 		s.finishLocked(j, StateDone, res, "")
 	case j.userCancel:
+		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
 		s.finishLocked(j, StateCanceled, nil, "")
 	case s.closed:
 		// Shutdown interrupted the attempt: leave the job non-terminal so
@@ -488,6 +493,7 @@ func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
 			maxAttempts = s.opts.Retry.MaxAttempts
 		}
 		if j.Attempts >= maxAttempts {
+			//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
 			s.finishLocked(j, StateFailed, nil, j.Error)
 			break
 		}

@@ -47,7 +47,7 @@ func TestLossTrendOverRealSockets(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		RunDatagramReplay(context.Background(), mb, "bg", bg, dur+time.Second, 99) //lint:ignore errcheck background replay outcome is irrelevant to the assertion
+		RunDatagramReplay(context.Background(), mb, "bg", bg, dur+time.Second, 99) // background replay outcome is irrelevant to the assertion
 	}()
 	for i := 0; i < 2; i++ {
 		i := i

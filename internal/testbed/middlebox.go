@@ -147,7 +147,7 @@ func (m *Middlebox) relayDownstream(fp *flowProxy) {
 			return
 		default:
 		}
-		fp.serverSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		fp.serverSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) // failed deadline arming surfaces as a read timeout on the next loop
 		n, addr, err := fp.serverSide.ReadFromUDP(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -175,7 +175,7 @@ func (m *Middlebox) relayUpstream(fp *flowProxy) {
 			return
 		default:
 		}
-		fp.clientSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		fp.clientSide.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) // failed deadline arming surfaces as a read timeout on the next loop
 		n, addr, err := fp.clientSide.ReadFromUDP(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -190,7 +190,7 @@ func (m *Middlebox) relayUpstream(fp *flowProxy) {
 		}
 		pkt := append([]byte(nil), buf[:n]...)
 		time.AfterFunc(m.cfg.Delay, func() {
-			fp.serverSide.WriteToUDP(pkt, dst) //lint:ignore errcheck a failed forward is induced datagram loss
+			fp.serverSide.WriteToUDP(pkt, dst) // a failed forward is induced datagram loss
 		})
 	}
 }
@@ -302,7 +302,7 @@ func (m *Middlebox) deliveryWorker(fp *flowProxy) {
 				}
 			}
 			if dst := fp.clientAddr.Load(); dst != nil {
-				fp.clientSide.WriteToUDP(op.pkt, dst) //lint:ignore errcheck a failed forward is induced datagram loss
+				fp.clientSide.WriteToUDP(op.pkt, dst) // a failed forward is induced datagram loss
 			}
 		}
 	}

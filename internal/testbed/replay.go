@@ -35,7 +35,7 @@ func connectedPair(addr *net.UDPAddr) (*net.UDPConn, error) {
 func punch(conn *net.UDPConn, connID uint32) {
 	hello := transport.HelloPacket(connID)
 	for i := 0; i < 3; i++ {
-		conn.Write(hello) //lint:ignore errcheck hello datagrams are fire-and-forget; loss is retried
+		conn.Write(hello) // hello datagrams are fire-and-forget; loss is retried
 		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -64,7 +64,7 @@ func (d *DgramSender) Replay(ctx context.Context, tr *trace.Trace) error {
 			copy(payload, hello)
 		}
 		buf = append(buf, payload...)
-		d.conn.Write(buf) //lint:ignore errcheck datagram sends are fire-and-forget; loss is the measured signal
+		d.conn.Write(buf) // datagram sends are fire-and-forget; loss is the measured signal
 		d.mu.Lock()
 		d.TxLog = append(d.TxLog, time.Since(start))
 		d.TxCount++
@@ -127,7 +127,7 @@ func (r *DgramReceiver) Serve(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		r.conn.SetReadDeadline(time.Now().Add(poll)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		r.conn.SetReadDeadline(time.Now().Add(poll)) // failed deadline arming surfaces as a read timeout on the next loop
 		if ctx.Err() != nil {
 			return nil // cancellation raced the re-arm; don't wait out the poll
 		}

@@ -32,6 +32,6 @@ func pollInterval(d time.Duration) time.Duration {
 // overwrite the break-out and the loop would sleep one full poll interval.
 func breakReadOnDone(ctx context.Context, conn *net.UDPConn) func() bool {
 	return context.AfterFunc(ctx, func() {
-		conn.SetReadDeadline(time.Unix(1, 0)) //lint:ignore errcheck a failed deadline rewind degrades to the poll-interval timeout
+		conn.SetReadDeadline(time.Unix(1, 0)) // a failed deadline rewind degrades to the poll-interval timeout
 	})
 }

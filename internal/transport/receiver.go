@@ -47,7 +47,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		r.conn.SetReadDeadline(time.Now().Add(poll)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		r.conn.SetReadDeadline(time.Now().Add(poll)) // failed deadline arming surfaces as a read timeout on the next loop
 		if ctx.Err() != nil {
 			return nil // cancellation raced the re-arm; don't wait out the poll
 		}
@@ -77,14 +77,14 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			r.mu.Unlock()
 			ack := header{Type: typeAck, Flags: h.Flags, Conn: h.Conn, Seq: h.Seq, Stamp: h.Stamp}
 			out = ack.marshal(out)
-			r.conn.Write(out) //lint:ignore errcheck ack sends are fire-and-forget; the sender retransmits
+			r.conn.Write(out) // ack sends are fire-and-forget; the sender retransmits
 		case typeFin:
 			r.mu.Lock()
 			r.FinSeen = true
 			r.mu.Unlock()
 			ack := header{Type: typeFinAck, Conn: h.Conn, Stamp: h.Stamp}
 			out = ack.marshal(out)
-			r.conn.Write(out) //lint:ignore errcheck ack sends are fire-and-forget; the sender retransmits
+			r.conn.Write(out) // ack sends are fire-and-forget; the sender retransmits
 			return nil
 		}
 	}

@@ -331,7 +331,7 @@ func (s *Sender) sendOneLocked(now time.Time) bool {
 	buf := make([]byte, 0, headerSize+len(payload))
 	buf = h.marshal(buf)
 	buf = append(buf, payload...)
-	s.conn.Write(buf) //lint:ignore errcheck datagram sends are fire-and-forget
+	s.conn.Write(buf) // datagram sends are fire-and-forget
 	return true
 }
 
@@ -364,7 +364,7 @@ func (s *Sender) readAcks(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:ignore errcheck failed deadline arming surfaces as a read timeout on the next loop
+		s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) // failed deadline arming surfaces as a read timeout on the next loop
 		n, err := s.conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -469,7 +469,7 @@ func (s *Sender) sendFin() {
 	h := header{Type: typeFin, Conn: s.cfg.ConnID, Stamp: time.Now().UnixNano()}
 	buf := h.marshal(make([]byte, 0, headerSize))
 	for i := 0; i < 3; i++ {
-		s.conn.Write(buf) //lint:ignore errcheck fin sends are fire-and-forget; the peer times out regardless
+		s.conn.Write(buf) // fin sends are fire-and-forget; the peer times out regardless
 		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -114,7 +114,7 @@ func TestReliableTransferDeadline(t *testing.T) {
 
 	rctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go receiver.Serve(rctx) //lint:ignore errcheck serve ends with the test context
+	go receiver.Serve(rctx) // serve ends with the test context
 
 	ctx, tcancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer tcancel()
@@ -133,7 +133,7 @@ func TestSenderMeasurementsShape(t *testing.T) {
 	receiver := NewReceiver(clientConn)
 	rctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go receiver.Serve(rctx) //lint:ignore errcheck serve ends with the test context
+	go receiver.Serve(rctx) // serve ends with the test context
 	ctx, tcancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer tcancel()
 	if err := sender.Transfer(ctx, 64*1024); err != nil {
@@ -159,7 +159,7 @@ func TestDatagramReplayLoopback(t *testing.T) {
 
 	rctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go receiver.Serve(rctx) //lint:ignore errcheck serve ends with the test context
+	go receiver.Serve(rctx) // serve ends with the test context
 
 	ctx, tcancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer tcancel()

@@ -73,6 +73,8 @@ func (c *Cache) mg1Point(pt MG1Point) MG1Summary {
 // encodeTBFPoint canonically serializes the ground-truth-determining spec
 // fields (Name and Tol deliberately excluded: renaming a point or widening
 // a band must not invalidate its measurement).
+//
+//lint:ignore cachekey Name and Tol do not affect simulated ground truth; see doc comment
 func encodeTBFPoint(pt TBFPoint) []byte {
 	b := make([]byte, 0, 64)
 	b = measure.AppendFloat64(b, pt.Params.Rate)
@@ -127,7 +129,10 @@ func tbfCodec() simcache.Codec[TBFMeasurement] {
 	}
 }
 
-// encodeMG1Point canonically serializes an MG1 point spec.
+// encodeMG1Point canonically serializes an MG1 point spec; like
+// encodeTBFPoint it deliberately excludes Name and Tol.
+//
+//lint:ignore cachekey Name and Tol do not affect simulated ground truth; see doc comment
 func encodeMG1Point(pt MG1Point) []byte {
 	b := make([]byte, 0, 64)
 	b = measure.AppendInt64(b, int64(pt.Servers))
