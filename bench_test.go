@@ -275,6 +275,51 @@ func BenchmarkAblationPacing(b *testing.B) {
 	}
 }
 
+// parseReduction extracts the headline factor from the ablation-scale note
+// "fluid background reduces simulated background events <N>x at full rate".
+func parseReduction(note string) (float64, bool) {
+	const marker = "reduces simulated background events "
+	i := strings.Index(note, marker)
+	if i < 0 {
+		return 0, false
+	}
+	rest := note[i+len(marker):]
+	j := strings.IndexByte(rest, 'x')
+	if j < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	return v, err == nil
+}
+
+func BenchmarkAblationScale(b *testing.B) {
+	defer reportCacheMetrics(b)()
+	cfg := benchCfg()
+	cfg.Trials = 1
+	cfg.Duration = 12 * time.Second
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationScale(cfg)
+		renderAndDiscard(r)
+		if len(r.Tables) > 0 && len(r.Tables[0].Rows) == 3 {
+			rows := r.Tables[0].Rows
+			if v, err := strconv.ParseFloat(rows[0][1], 64); err == nil {
+				b.ReportMetric(v, "packet32-events")
+			}
+			if v, err := strconv.ParseFloat(rows[2][2], 64); err == nil {
+				b.ReportMetric(v, "fluid168-bg-events")
+			}
+			if v, err := strconv.ParseFloat(rows[2][3], 64); err == nil {
+				b.ReportMetric(v, "peak-bg-flows")
+			}
+		}
+		for _, n := range r.Notes {
+			if v, ok := parseReduction(n); ok {
+				b.ReportMetric(v, "bg-event-reduction-x")
+			}
+		}
+	}
+}
+
 func BenchmarkExtensionPerFlow(b *testing.B) {
 	defer reportCacheMetrics(b)()
 	cfg := benchCfg() // default 30 s replays: the anti-correlation needs them

@@ -56,6 +56,7 @@ func realMain() int {
 		full     = flag.Bool("full", false, "paper-scale trial counts (slow)")
 		duration = flag.Duration("duration", 0, "replay duration override (0 = per-experiment default)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); output is identical for any value")
+		bgMode   = flag.String("background", "", "background simulation mode for specs that don't pin one: packet (default) or fluid (DESIGN.md §14)")
 		useCache = flag.Bool("cache", false, "memoize simulations in-process (single-flight dedup of identical trials)")
 		cacheDir = flag.String("cache-dir", "", "persist simulation results under this directory (implies -cache)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -108,15 +109,25 @@ func realMain() int {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
+		for _, name := range experiments.ExtraNames() {
+			fmt.Printf("%s (opt-in; excluded from -run all)\n", name)
+		}
 		return 0
 	}
 
+	switch *bgMode {
+	case "", experiments.BgModePacket, experiments.BgModeFluid:
+	default:
+		fatal(fmt.Errorf("unknown -background mode %q (packet or fluid)", *bgMode))
+	}
+
 	cfg := experiments.Config{
-		Trials:   *trials,
-		Seed:     *seed,
-		Full:     *full,
-		Duration: *duration,
-		Workers:  *workers,
+		Trials:         *trials,
+		Seed:           *seed,
+		Full:           *full,
+		Duration:       *duration,
+		Workers:        *workers,
+		BackgroundMode: *bgMode,
 	}
 	if *cacheDir != "" {
 		cache, err := experiments.NewDiskSimCache(*cacheDir)

@@ -141,7 +141,7 @@ func validateCmd(args []string) {
 	}
 	st := cache.Stats()
 	fmt.Printf("points %d  cache hits=%d disk-hits=%d misses=%d\n",
-		len(report.TBF)+len(report.MG1), st.Hits, st.DiskHits, st.Misses)
+		len(report.TBF)+len(report.MG1)+len(report.Hybrid), st.Hits, st.DiskHits, st.Misses)
 	if n := report.ViolationCount(); n > 0 {
 		fmt.Fprintf(os.Stderr, "wehey-twin: %d tolerance violations\n", n)
 		os.Exit(1)

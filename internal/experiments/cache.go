@@ -25,7 +25,9 @@ import (
 // simulator's behaviour at a fixed spec changes (netsim, trace
 // generation, calibration constants). Old entries then simply miss.
 // TestSimCacheSchemaGuards pins the struct shapes this stamp covers.
-const simCacheSchema = "wehey/simcache/v1"
+// v2: SimSpec gained BackgroundMode + BgFlowRate, SimResult gained
+// Events/BgEvents/BgFlows (PR 8's hybrid fluid background).
+const simCacheSchema = "wehey/simcache/v2"
 
 // SimCache memoizes RunSim results. Results handed out are shared:
 // callers must not mutate them (the experiment generators only read).
@@ -66,6 +68,12 @@ func (sc *SimCache) Stats() simcache.Stats { return sc.inner.Stats() }
 // none is set. Generators call this (or Grid) instead of RunSim so a
 // process-wide cache dedups identical trials across experiments.
 func (c Config) Sim(spec SimSpec) SimResult {
+	if c.BackgroundMode != "" && spec.BackgroundMode == "" {
+		// The config-level mode is a default for specs that don't pin one;
+		// experiments explicitly about the mode (ablation-scale) set it per
+		// spec and win.
+		spec.BackgroundMode = c.BackgroundMode
+	}
 	if c.Cache != nil {
 		return c.Cache.Run(spec)
 	}
@@ -96,6 +104,8 @@ func appendSpec(b []byte, s *SimSpec) []byte {
 	b = measure.AppendInt64(b, int64(s.Duration))
 	b = appendBool(b, s.Unmodified)
 	b = appendBool(b, s.BBR)
+	b = measure.AppendString(b, s.BackgroundMode)
+	b = measure.AppendFloat64(b, s.BgFlowRate)
 	return measure.AppendInt64(b, s.Seed)
 }
 
@@ -138,20 +148,23 @@ func encodeResult(r SimResult) []byte {
 		b = measure.AppendThroughputBinary(b, r.Tput[i])
 	}
 	if r.Drops == nil {
-		return append(b, 0)
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		keys := make([]string, 0, len(r.Drops))
+		for k := range r.Drops {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = measure.AppendUint64(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = measure.AppendString(b, k)
+			b = measure.AppendInt64(b, int64(r.Drops[k]))
+		}
 	}
-	b = append(b, 1)
-	keys := make([]string, 0, len(r.Drops))
-	for k := range r.Drops {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	b = measure.AppendUint64(b, uint64(len(keys)))
-	for _, k := range keys {
-		b = measure.AppendString(b, k)
-		b = measure.AppendInt64(b, int64(r.Drops[k]))
-	}
-	return b
+	b = measure.AppendInt64(b, r.Events)
+	b = measure.AppendInt64(b, r.BgEvents)
+	return measure.AppendInt64(b, r.BgFlows)
 }
 
 // decodeResult inverts encodeResult. Any framing problem — truncation,
@@ -213,6 +226,15 @@ func decodeResult(b []byte) (SimResult, error) {
 			}
 			r.Drops[k] = int(v)
 		}
+	}
+	if r.Events, b, err = measure.DecodeInt64(b); err != nil {
+		return fail(err)
+	}
+	if r.BgEvents, b, err = measure.DecodeInt64(b); err != nil {
+		return fail(err)
+	}
+	if r.BgFlows, b, err = measure.DecodeInt64(b); err != nil {
+		return fail(err)
 	}
 	if len(b) != 0 {
 		return fail(errors.New("experiments: trailing bytes after SimResult"))

@@ -19,13 +19,13 @@ import (
 // simCacheSchema is bumped (stale entries would otherwise alias the new
 // meaning).
 func TestSimCacheSchemaGuards(t *testing.T) {
-	if n := reflect.TypeOf(SimSpec{}).NumField(); n != 13 {
-		t.Errorf("SimSpec has %d fields, appendSpec encodes 13: extend appendSpec and bump simCacheSchema", n)
+	if n := reflect.TypeOf(SimSpec{}).NumField(); n != 15 {
+		t.Errorf("SimSpec has %d fields, appendSpec encodes 15: extend appendSpec and bump simCacheSchema", n)
 	}
-	if n := reflect.TypeOf(SimResult{}).NumField(); n != 7 {
-		t.Errorf("SimResult has %d fields, the codec handles 7: extend encodeResult/decodeResult and bump simCacheSchema", n)
+	if n := reflect.TypeOf(SimResult{}).NumField(); n != 10 {
+		t.Errorf("SimResult has %d fields, the codec handles 10: extend encodeResult/decodeResult and bump simCacheSchema", n)
 	}
-	if simCacheSchema != "wehey/simcache/v1" {
+	if simCacheSchema != "wehey/simcache/v2" {
 		// Not an error — just force the author of a bump to also refresh
 		// the two counts above deliberately.
 		t.Log("simCacheSchema bumped; confirm the field counts in this test were revisited")
@@ -61,6 +61,8 @@ func TestAppendSpecCanonicalizesDefaults(t *testing.T) {
 		"Duration":         func(s *SimSpec) { s.Duration = 20 * time.Second },
 		"Unmodified":       func(s *SimSpec) { s.Unmodified = true },
 		"BBR":              func(s *SimSpec) { s.BBR = true },
+		"BackgroundMode":   func(s *SimSpec) { s.BackgroundMode = BgModeFluid },
+		"BgFlowRate":       func(s *SimSpec) { s.BgFlowRate = 105e3 },
 		"Seed":             func(s *SimSpec) { s.Seed = 8 },
 	} {
 		mod := explicit
@@ -106,6 +108,9 @@ func randomResult(rng *rand.Rand) SimResult {
 			}
 		}
 	}
+	r.Events = rng.Int63()
+	r.BgEvents = rng.Int63()
+	r.BgFlows = rng.Int63()
 	switch rng.Intn(3) {
 	case 0: // nil map
 	case 1:

@@ -32,7 +32,15 @@ var registry = map[string]Generator{
 	"ablation-pacing":      AblationPacing,
 }
 
-// Names returns the registered experiment IDs, sorted.
+// extraRegistry holds opt-in experiments that are addressable by name but
+// excluded from Names()/RunAll — they don't belong in the committed
+// `-run all` output (e.g. the full-rate scale ablation, whose fluid arms
+// would churn experiments_output.txt on every tuning change).
+var extraRegistry = map[string]Generator{
+	"ablation-scale": AblationScale,
+}
+
+// Names returns the default experiment IDs (the `-run all` set), sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for k := range registry {
@@ -42,9 +50,22 @@ func Names() []string {
 	return out
 }
 
-// Lookup returns the generator for an experiment ID.
+// ExtraNames returns the opt-in experiment IDs, sorted.
+func ExtraNames() []string {
+	out := make([]string, 0, len(extraRegistry))
+	for k := range extraRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the generator for an experiment ID, default or opt-in.
 func Lookup(name string) (Generator, bool) {
-	g, ok := registry[name]
+	if g, ok := registry[name]; ok {
+		return g, ok
+	}
+	g, ok := extraRegistry[name]
 	return g, ok
 }
 

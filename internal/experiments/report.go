@@ -172,6 +172,11 @@ type Config struct {
 	// disk-backed cache. nil runs every simulation directly. Reports are
 	// byte-identical with and without a cache.
 	Cache *SimCache
+	// BackgroundMode, when non-empty, is the default SimSpec.BackgroundMode
+	// for specs that don't pin one: BgModePacket or BgModeFluid (the hybrid
+	// fluid background of DESIGN.md §14). It routes through the cache key,
+	// so fluid and packet runs never alias.
+	BackgroundMode string
 }
 
 func (c *Config) fill() {

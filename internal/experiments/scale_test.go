@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScaleReductionMeetsTarget pins the tentpole acceptance number: at the
+// paper's 168 Mbit/s aggregate the fluid background must cost at least 50x
+// fewer simulated events than the projected packet-mode count. A short
+// horizon suffices — both the projection and the fluid cost scale with it.
+func TestScaleReductionMeetsTarget(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 1, Duration: 12 * time.Second, Cache: NewSimCache()}
+	cfg.fill()
+	stats := runScaleArms(cfg)
+
+	packet32, fluid32, fluid168 := stats[0], stats[1], stats[2]
+	if !(packet32.bgEvents <= 0) {
+		t.Errorf("packet arm reported %v bg events, want 0", packet32.bgEvents)
+	}
+	if !(fluid32.events < packet32.events) {
+		t.Errorf("fluid mode cost %v events vs packet %v — no saving at 32 Mbit/s",
+			fluid32.events, packet32.events)
+	}
+	// The paper-scale arm must actually reach a paper-scale population
+	// (~400 concurrent flows at 45 s; the 12 s ramp reaches fewer).
+	if fluid168.peakFlows < 150 {
+		t.Errorf("peak background flow population %d, want ≥150 on a 12 s ramp", fluid168.peakFlows)
+	}
+	red := ScaleReduction(packet32, fluid32, fluid168)
+	if red < 50 {
+		t.Errorf("background event reduction %.1fx at 168 Mbit/s, want ≥50x", red)
+	}
+	t.Logf("events/trial: packet32=%.0f fluid32=%.0f fluid168=%.0f (bg %.0f), reduction %.0fx, peak flows %d",
+		packet32.events, fluid32.events, fluid168.events, fluid168.bgEvents, red, fluid168.peakFlows)
+}
+
+// TestAblationScaleReportRenders checks the opt-in report's shape and that
+// it is reachable through Lookup but absent from the default set.
+func TestAblationScaleReportRenders(t *testing.T) {
+	if _, ok := Lookup("ablation-scale"); !ok {
+		t.Fatal("ablation-scale not addressable via Lookup")
+	}
+	for _, n := range Names() {
+		if n == "ablation-scale" {
+			t.Fatal("ablation-scale leaked into the default -run all set")
+		}
+	}
+	found := false
+	for _, n := range ExtraNames() {
+		if n == "ablation-scale" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ablation-scale missing from ExtraNames")
+	}
+
+	cfg := Config{Seed: 1, Trials: 1, Duration: 12 * time.Second, Cache: NewSimCache()}
+	r := AblationScale(cfg)
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 3 {
+		t.Fatalf("report shape: %+v", r.Tables)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{"ablation-scale", "168 Mbit/s", "target ≥50x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}

@@ -63,9 +63,26 @@ type SimSpec struct {
 	// BBR runs the TCP replays under the BBR controller instead of Reno
 	// (the §7 open question; see extension-bbr).
 	BBR bool
+	// BackgroundMode selects how the background aggregate is simulated:
+	// BgModePacket (the default; every background packet is simulated) or
+	// BgModeFluid (the hybrid mode of DESIGN.md §14 — background becomes
+	// piecewise-constant fluid at each bottleneck, foreground stays
+	// packet-granular). fill canonicalizes "" to BgModePacket so both
+	// spellings share a cache key.
+	BackgroundMode string
+	// BgFlowRate is the per-flow application rate of the elastic background
+	// flows in bits/s (default 8 Mbit/s). Full-rate scale runs lower it so
+	// the paper's ~400-flow concurrency emerges from the same aggregate.
+	BgFlowRate float64
 	// Seed drives all randomness of this run.
 	Seed int64
 }
+
+// BackgroundMode values for SimSpec and Config.
+const (
+	BgModePacket = "packet"
+	BgModeFluid  = "fluid"
+)
 
 func (s *SimSpec) fill() {
 	if s.InputFactor <= 0 {
@@ -89,6 +106,12 @@ func (s *SimSpec) fill() {
 	if s.Duration <= 0 {
 		s.Duration = 45 * time.Second
 	}
+	if s.BackgroundMode == "" {
+		s.BackgroundMode = BgModePacket
+	}
+	if s.BgFlowRate <= 0 {
+		s.BgFlowRate = 8e6
+	}
 }
 
 // TCPBulkApp is the SimSpec.App value selecting the TCP trace pair.
@@ -108,6 +131,16 @@ type SimResult struct {
 	Tput [2]measure.Throughput
 	// GroundTruthDrops per location name.
 	Drops map[string]int
+	// Events is the total number of engine events the run processed — the
+	// cost metric the hybrid fluid mode optimizes (DESIGN.md §14).
+	Events int64
+	// BgEvents is the subset of Events spent on fluid background
+	// bookkeeping (rate updates, flow arrivals/departures, phase
+	// crossings); 0 in packet mode.
+	BgEvents int64
+	// BgFlows is the peak concurrent elastic background flow population
+	// (fluid mode only) — the paper-scale target is ~400.
+	BgFlows int64
 }
 
 // RunSim executes the simultaneous replay described by spec and returns
@@ -225,23 +258,44 @@ func RunSim(spec SimSpec) SimResult {
 		}
 	}
 
-	sc := netsim.NewScenario(&eng, spec.Seed, common, paths...)
+	mode := netsim.BGPacket
+	if spec.BackgroundMode == BgModeFluid {
+		mode = netsim.BGFluid
+	}
+	sc := netsim.NewScenarioMode(&eng, spec.Seed, mode, common, paths...)
 
 	// Elastic background: churning TCP flows (Poisson arrivals, bounded
 	// Pareto sizes) — the flow-population variation is the primary source
-	// of loss-rate trends at the bottleneck.
+	// of loss-rate trends at the bottleneck. In fluid mode the same
+	// population dynamics drive per-flow fluid contributions instead.
 	var churnPaths []int
 	if spec.Placement == LimiterNonCommon {
 		churnPaths = []int{0, 1} // share the replay paths' limiters
 	} else {
 		churnPaths = []int{2, 3} // dedicated background paths into l_c
 	}
-	churn := netsim.NewChurn(&eng, netsim.ChurnConfig{
-		MeanRate: elasticBg,
-		Class:    netsim.ClassDifferentiated,
-		Stop:     spec.Duration,
-	}, rand.New(rand.NewSource(spec.Seed+999)), sc, churnPaths)
-	churn.Start(0)
+	churnCfg := netsim.ChurnConfig{
+		MeanRate:    elasticBg,
+		Class:       netsim.ClassDifferentiated,
+		Stop:        spec.Duration,
+		PerFlowRate: spec.BgFlowRate,
+	}
+	churnRng := rand.New(rand.NewSource(spec.Seed + 999))
+	var fluidChurn *netsim.FluidChurn
+	if mode == netsim.BGFluid {
+		fc, err := netsim.NewFluidChurn(&eng, churnCfg, churnRng, sc, churnPaths)
+		if err != nil {
+			panic(err) // spec-derived config: invalid means a harness bug
+		}
+		fluidChurn = fc
+		fc.Start(0)
+	} else {
+		churn, err := netsim.NewChurn(&eng, churnCfg, churnRng, sc, churnPaths)
+		if err != nil {
+			panic(err)
+		}
+		churn.Start(0)
+	}
 
 	res := SimResult{}
 	if isTCP {
@@ -262,7 +316,7 @@ func RunSim(spec SimSpec) SimResult {
 			f.Start(0)
 		}
 		sc.StartBackground(0, spec.Duration)
-		eng.Run(spec.Duration + 2*time.Second)
+		res.Events = int64(eng.Run(spec.Duration + 2*time.Second))
 		ms := [2]measure.Path{}
 		for i, f := range flows {
 			ms[i] = f.Measurements(0, spec.Duration, sc.RTT(i))
@@ -281,7 +335,7 @@ func RunSim(spec SimSpec) SimResult {
 			f.Start(udpTraces[i], 0)
 		}
 		sc.StartBackground(0, spec.Duration)
-		eng.Run(spec.Duration + 2*time.Second)
+		res.Events = int64(eng.Run(spec.Duration + 2*time.Second))
 		ms := [2]measure.Path{}
 		for i, f := range flows {
 			f.Finish(spec.Duration)
@@ -290,6 +344,17 @@ func RunSim(spec SimSpec) SimResult {
 			res.Tput[i] = measure.WeHeThroughput(f.Deliveries(0), 0, spec.Duration)
 		}
 		res.M1, res.M2 = ms[0], ms[1]
+	}
+	if mode == netsim.BGFluid {
+		// Settle the analytic state and fold fluid loss into the drop log
+		// before it is published, then account the bookkeeping events that
+		// replaced per-packet background work.
+		sc.FinishFluid(spec.Duration + 2*time.Second)
+		res.BgEvents = sc.FluidEvents()
+		if fluidChurn != nil {
+			res.BgEvents += fluidChurn.Events
+			res.BgFlows = fluidChurn.MaxActive
+		}
 	}
 	res.Drops = sc.DropLog
 	return res

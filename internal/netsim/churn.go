@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -53,6 +54,63 @@ func (c *ChurnConfig) fill() {
 	}
 }
 
+// Validate rejects configurations that would produce a dead source or an
+// undefined Pareto size distribution, checked before defaulting: zero
+// values that fill() replaces are fine; negative ones (and NaN, via the
+// negated comparisons) are caller bugs.
+func (c ChurnConfig) Validate() error {
+	if !(c.MeanRate > 0) {
+		return &ConfigError{Source: "churn", Field: "MeanRate",
+			Reason: fmt.Sprintf("must be > 0 bits/s, got %v", c.MeanRate)}
+	}
+	if !(c.MinBytes >= 0) {
+		return &ConfigError{Source: "churn", Field: "MinBytes",
+			Reason: fmt.Sprintf("must be >= 0 (0 = default), got %v", c.MinBytes)}
+	}
+	if !(c.MaxBytes >= 0) {
+		return &ConfigError{Source: "churn", Field: "MaxBytes",
+			Reason: fmt.Sprintf("must be >= 0 (0 = default), got %v", c.MaxBytes)}
+	}
+	if !(c.Alpha >= 0) {
+		return &ConfigError{Source: "churn", Field: "Alpha",
+			Reason: fmt.Sprintf("must be >= 0 (0 = default), got %v", c.Alpha)}
+	}
+	if !(c.PerFlowRate >= 0) {
+		return &ConfigError{Source: "churn", Field: "PerFlowRate",
+			Reason: fmt.Sprintf("must be >= 0 bits/s (0 = default), got %v", c.PerFlowRate)}
+	}
+	filled := c
+	filled.fill()
+	if filled.MinBytes > filled.MaxBytes {
+		return &ConfigError{Source: "churn", Field: "MinBytes",
+			Reason: fmt.Sprintf("exceeds MaxBytes (%v > %v)", filled.MinBytes, filled.MaxBytes)}
+	}
+	if c.Stop <= 0 {
+		return &ConfigError{Source: "churn", Field: "Stop",
+			Reason: fmt.Sprintf("must be > 0, got %v", c.Stop)}
+	}
+	return nil
+}
+
+// meanFlowBytes returns the mean of the bounded Pareto distribution.
+func (c *ChurnConfig) meanFlowBytes() float64 {
+	a, lo, hi := c.Alpha, c.MinBytes, c.MaxBytes
+	//lint:ignore floateq exact special case of the bounded-Pareto mean formula
+	if a == 1 {
+		return lo * math.Log(hi/lo) / (1 - lo/hi)
+	}
+	num := math.Pow(lo, a) / (1 - math.Pow(lo/hi, a)) * a / (a - 1)
+	return num * (1/math.Pow(lo, a-1) - 1/math.Pow(hi, a-1))
+}
+
+// drawBytes samples a bounded-Pareto flow size.
+func (c *ChurnConfig) drawBytes(rng *rand.Rand) int64 {
+	a, lo, hi := c.Alpha, c.MinBytes, c.MaxBytes
+	u := rng.Float64()
+	x := lo / math.Pow(1-u*(1-math.Pow(lo/hi, a)), 1/a)
+	return int64(x)
+}
+
 // Churn generates background TCP flows into a scenario.
 type Churn struct {
 	eng  *Engine
@@ -70,29 +128,14 @@ type Churn struct {
 const churnFlowIDBase = 1000
 
 // NewChurn creates a churn source whose flows enter the scenario via the
-// given path indices (round-robin).
-func NewChurn(eng *Engine, cfg ChurnConfig, rng *rand.Rand, sc *Scenario, pathIdx []int) *Churn {
-	cfg.fill()
-	return &Churn{eng: eng, cfg: cfg, rng: rng, sc: sc, path: pathIdx, nextID: cfg.IDBase}
-}
-
-// meanFlowBytes returns the mean of the bounded Pareto distribution.
-func (c *Churn) meanFlowBytes() float64 {
-	a, lo, hi := c.cfg.Alpha, c.cfg.MinBytes, c.cfg.MaxBytes
-	//lint:ignore floateq exact special case of the bounded-Pareto mean formula
-	if a == 1 {
-		return lo * math.Log(hi/lo) / (1 - lo/hi)
+// given path indices (round-robin), rejecting invalid configurations with
+// a *ConfigError.
+func NewChurn(eng *Engine, cfg ChurnConfig, rng *rand.Rand, sc *Scenario, pathIdx []int) (*Churn, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	num := math.Pow(lo, a) / (1 - math.Pow(lo/hi, a)) * a / (a - 1)
-	return num * (1/math.Pow(lo, a-1) - 1/math.Pow(hi, a-1))
-}
-
-// drawBytes samples a bounded-Pareto flow size.
-func (c *Churn) drawBytes() int64 {
-	a, lo, hi := c.cfg.Alpha, c.cfg.MinBytes, c.cfg.MaxBytes
-	u := c.rng.Float64()
-	x := lo / math.Pow(1-u*(1-math.Pow(lo/hi, a)), 1/a)
-	return int64(x)
+	cfg.fill()
+	return &Churn{eng: eng, cfg: cfg, rng: rng, sc: sc, path: pathIdx, nextID: cfg.IDBase}, nil
 }
 
 // Start schedules the first arrival.
@@ -115,7 +158,7 @@ func (c *Churn) arrive() {
 	if now >= c.cfg.Stop {
 		return
 	}
-	size := c.drawBytes()
+	size := c.cfg.drawBytes(c.rng)
 	idx := c.path[int(c.Arrived)%len(c.path)]
 	id := c.nextID
 	c.nextID++
@@ -133,7 +176,7 @@ func (c *Churn) arrive() {
 	f.Start(now)
 
 	// Poisson arrivals sized so mean demand = MeanRate.
-	meanGap := c.meanFlowBytes() * 8 / c.cfg.MeanRate
+	meanGap := c.cfg.meanFlowBytes() * 8 / c.cfg.MeanRate
 	gap := time.Duration(c.rng.ExpFloat64() * meanGap * float64(time.Second))
 	if gap <= 0 {
 		gap = time.Millisecond

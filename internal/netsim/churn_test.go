@@ -10,14 +10,17 @@ import (
 func TestChurnMeanFlowBytes(t *testing.T) {
 	var eng Engine
 	sc := NewScenario(&eng, 1, CommonSpec{}, PathSpec{RTT: 20 * time.Millisecond})
-	c := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second}, rand.New(rand.NewSource(1)), sc, []int{0})
+	c, err := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second}, rand.New(rand.NewSource(1)), sc, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// The analytic mean must match the empirical mean of drawn sizes.
-	want := c.meanFlowBytes()
+	want := c.cfg.meanFlowBytes()
 	var sum float64
 	const n = 20000
 	for i := 0; i < n; i++ {
-		sum += float64(c.drawBytes())
+		sum += float64(c.cfg.drawBytes(c.rng))
 	}
 	got := sum / n
 	// Heavy-tailed: generous tolerance.
@@ -26,7 +29,7 @@ func TestChurnMeanFlowBytes(t *testing.T) {
 	}
 	// Bounds respected.
 	for i := 0; i < 1000; i++ {
-		b := float64(c.drawBytes())
+		b := float64(c.cfg.drawBytes(c.rng))
 		if b < c.cfg.MinBytes || b > c.cfg.MaxBytes {
 			t.Fatalf("size %v outside [%v, %v]", b, c.cfg.MinBytes, c.cfg.MaxBytes)
 		}
@@ -41,8 +44,11 @@ func TestChurnAggregateRate(t *testing.T) {
 	)
 	target := 10e6
 	dur := 30 * time.Second
-	c := NewChurn(&eng, ChurnConfig{MeanRate: target, Stop: dur},
+	c, err := NewChurn(&eng, ChurnConfig{MeanRate: target, Stop: dur},
 		rand.New(rand.NewSource(3)), sc, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Start(0)
 	eng.Run(dur)
 	// Offered demand (arrived flow bytes per second) approximates the
@@ -63,8 +69,11 @@ func TestChurnFlowsActuallyTransfer(t *testing.T) {
 	// Tap deliveries by wrapping Register through a counting demux hop:
 	// churn registers its own receivers, so count at the common link.
 	sc.CommonLink.Next = &Tap{Fn: func(pkt *Packet) { delivered += int64(pkt.Size) }, Next: sc.CommonLink.Next}
-	c := NewChurn(&eng, ChurnConfig{MeanRate: 5e6, Stop: 10 * time.Second},
+	c, err := NewChurn(&eng, ChurnConfig{MeanRate: 5e6, Stop: 10 * time.Second},
 		rand.New(rand.NewSource(5)), sc, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Start(0)
 	eng.Run(12 * time.Second)
 	if delivered == 0 {
@@ -75,10 +84,16 @@ func TestChurnFlowsActuallyTransfer(t *testing.T) {
 func TestChurnIDBaseSeparation(t *testing.T) {
 	var eng Engine
 	sc := NewScenario(&eng, 6, CommonSpec{}, PathSpec{RTT: 20 * time.Millisecond})
-	a := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second},
+	a, err := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second},
 		rand.New(rand.NewSource(1)), sc, []int{0})
-	b := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second, IDBase: 5000},
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChurn(&eng, ChurnConfig{MeanRate: 1e6, Stop: time.Second, IDBase: 5000},
 		rand.New(rand.NewSource(2)), sc, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.nextID == b.nextID {
 		t.Error("two churn instances share an ID range")
 	}

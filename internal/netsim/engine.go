@@ -69,6 +69,12 @@ const (
 	evBGModulate
 	evBGEmit
 	evChurnArrive
+	// Fluid-mode bookkeeping events (DESIGN.md §14): coarse rate updates
+	// and analytic phase crossings instead of per-packet events.
+	evFluidPhase    // arg: phaseSeq (stale-crossing guard)
+	evFluidModulate // arg: fluidStopArg on the scheduled stop
+	evFluidArrive   // arg: fluidStopArg on the scheduled stop
+	evFluidDepart   // arg: round-robin target slot
 )
 
 // handler dispatches an interned callback event to its owner. Converting a

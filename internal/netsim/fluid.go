@@ -1,0 +1,520 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// This file implements the hybrid fluid/packet mode (DESIGN.md §14): the
+// background aggregate at a bottleneck is a piecewise-constant fluid rate
+// process integrated in closed form, while foreground traffic stays
+// packet-granular. Between rate changes the token level, queue occupancy,
+// and fluid loss of a TBF or FIFO queue evolve through at most three
+// analytic phases (token accumulation/burn, queue fill/drain, saturation
+// overflow) — the same derivation as twin.PredictTBF, applied incrementally.
+// A foreground packet arriving mid-interval is folded into the analytic
+// backlog, so its loss/delay is per-packet exact: while a backlog exists the
+// service rate is deterministically the token rate, hence the packet's
+// departure offset backlog/rate cannot be changed by later arrivals.
+
+// FluidQueue is the analytic state a RateLimiter or Link integrates fluid
+// inflow into. Obtain one via RateLimiter.Fluid or Link.Fluid; feed it with
+// AddSource/SetSource. All rates in the public API are bits/s like the rest
+// of the package; internal state is bytes and bytes/s.
+type FluidQueue struct {
+	eng *Engine
+
+	rate  float64 // service/token rate, bytes/s; <= 0 = blackhole bucket
+	burst float64 // token bucket size, bytes (0 for a plain FIFO link)
+	limit float64 // queue capacity, bytes (<= 0 = pure policer)
+
+	src []float64 // per-source inflow, bytes/s
+	in  float64   // sum of src
+
+	tokens  float64 // current token level, bytes
+	backlog float64 // current queue occupancy, bytes (fluid + folded fg)
+	last    time.Duration
+
+	offered float64 // cumulative fluid bytes offered
+	dropped float64 // cumulative fluid bytes lost
+
+	// Optional downstream coupling: a limiter discharging into a finite
+	// link propagates its analytic output rate as one of the link's fluid
+	// sources, re-evaluated at phase crossings.
+	down     *FluidQueue
+	downID   int
+	phaseSeq uint64
+
+	// fgDebt accumulates the foreground drop probability under fluid
+	// saturation (see admitShare).
+	fgDebt float64
+
+	// Events counts phase-crossing bookkeeping events processed.
+	Events int64
+}
+
+func newFluidQueue(eng *Engine, rate, burst, limit float64) *FluidQueue {
+	return &FluidQueue{eng: eng, rate: rate / 8, burst: burst, limit: limit, tokens: burst}
+}
+
+// FluidStats is a byte-accounting snapshot of a FluidQueue.
+type FluidStats struct {
+	OfferedBytes float64 // cumulative fluid bytes offered
+	DroppedBytes float64 // cumulative fluid bytes lost
+	BacklogBytes float64 // current queue occupancy (fluid + folded foreground)
+	TokenBytes   float64 // current token level
+}
+
+// Stats advances the integrator to now and returns the cumulative fluid
+// byte accounting plus the instantaneous analytic state.
+func (f *FluidQueue) Stats(now time.Duration) FluidStats {
+	f.advance(now)
+	return FluidStats{
+		OfferedBytes: f.offered,
+		DroppedBytes: f.dropped,
+		BacklogBytes: f.backlog,
+		TokenBytes:   f.tokens,
+	}
+}
+
+// AddSource registers a fluid inflow (initially zero) and returns its
+// handle for SetSource.
+func (f *FluidQueue) AddSource() int {
+	f.src = append(f.src, 0)
+	return len(f.src) - 1
+}
+
+// SetSource updates source id's inflow to rate bits/s. The integrator is
+// advanced to the present first, so inflow is piecewise-constant with
+// breakpoints exactly at the SetSource calls.
+func (f *FluidQueue) SetSource(id int, rate float64) {
+	f.setSourceBytes(id, rate/8)
+}
+
+func (f *FluidQueue) setSourceBytes(id int, bps float64) {
+	f.advance(f.eng.Now())
+	if bps < 0 {
+		bps = 0
+	}
+	f.src[id] = bps
+	sum := 0.0
+	for _, s := range f.src {
+		sum += s
+	}
+	f.in = sum
+	f.arm()
+}
+
+// FeedsInto routes this queue's analytic output rate into a downstream
+// fluid queue (a limiter discharging into a finite link). Phase-crossing
+// events keep the coupling piecewise-constant.
+func (f *FluidQueue) FeedsInto(down *FluidQueue) {
+	if f.down == down {
+		return
+	}
+	if f.down != nil {
+		panic("netsim: FluidQueue already feeds a different downstream queue")
+	}
+	f.down = down
+	f.downID = down.AddSource()
+	f.arm()
+}
+
+// advance integrates the fluid state forward to now under the current
+// constant inflow. The evolution passes through at most two phase
+// transitions (backlog empties into the token phase, or tokens exhaust
+// into the backlog phase), each handled in closed form.
+func (f *FluidQueue) advance(now time.Duration) {
+	dt := (now - f.last).Seconds()
+	if dt <= 0 {
+		return // never rewind: a stale caller must not reset the epoch
+	}
+	f.last = now
+	in := f.in
+	f.offered += in * dt
+
+	if f.rate <= 0 {
+		// Blackhole bucket (tc-tbf rate 0, kept constructible like the
+		// packet path): inflow passes while the initial burst lasts, then
+		// everything is lost; a backlog never forms.
+		if in <= 0 {
+			return
+		}
+		if f.tokens > 0 {
+			te := f.tokens / in
+			if te >= dt {
+				f.tokens -= in * dt
+				return
+			}
+			f.tokens = 0
+			dt -= te
+		}
+		f.dropped += in * dt
+		return
+	}
+
+	if f.backlog > 0 {
+		net := in - f.rate
+		if net > 0 {
+			// Queue filling toward the limit, overflow past it.
+			if f.backlog >= f.limit {
+				f.backlog = f.limit
+				f.dropped += net * dt
+				return
+			}
+			tf := (f.limit - f.backlog) / net
+			if tf >= dt {
+				f.backlog += net * dt
+				return
+			}
+			f.backlog = f.limit
+			f.dropped += net * (dt - tf)
+			return
+		}
+		// Queue draining (net <= 0; net == 0 holds the backlog flat and
+		// lands in the tq >= dt branch via +Inf).
+		drain := -net
+		tq := f.backlog / drain
+		if tq >= dt {
+			f.backlog -= drain * dt
+			return
+		}
+		f.backlog = 0
+		dt -= tq
+		// Fall through to the token phase for the remainder.
+	}
+
+	// Empty queue: the token bucket absorbs the rate difference.
+	net := f.rate - in
+	if net >= 0 {
+		f.tokens += net * dt
+		if f.tokens > f.burst {
+			f.tokens = f.burst
+		}
+		return
+	}
+	excess := -net
+	if f.tokens > 0 {
+		te := f.tokens / excess
+		if te >= dt {
+			f.tokens -= excess * dt
+			return
+		}
+		f.tokens = 0
+		dt -= te
+	}
+	if f.limit <= 0 {
+		// Pure policer: excess fluid is lost the instant tokens run out.
+		f.dropped += excess * dt
+		return
+	}
+	// Backlog grows from empty; inflow is constant, so once filling
+	// starts it continues to the limit, then overflows.
+	tf := f.limit / excess
+	if tf >= dt {
+		f.backlog = excess * dt
+		return
+	}
+	f.backlog = f.limit
+	f.dropped += excess * (dt - tf)
+}
+
+// saturated reports whether fluid inflow alone exceeds the service rate —
+// the regime where the analytic backlog (or token deficit) pegs at its
+// bound and discrete foreground arrivals must compete with fluid for
+// admission rather than finding the queue literally full forever.
+func (f *FluidQueue) saturated() bool { return f.rate > 0 && f.in > f.rate }
+
+// admitShare decides a foreground packet's fate while the queue is
+// saturated. A packet-granular FIFO at overload shares its capacity
+// proportionally among all arrival streams, so the packet is admitted with
+// the aggregate's admitted fraction rate/in; pure fluid occupancy would
+// instead starve every discrete arrival (the backlog never dips below the
+// limit), which is the one place the fluid abstraction is structurally
+// unfair. The decision is deterministic — a drop-debt accumulator rather
+// than a coin flip — so identical runs stay identical. An admitted packet
+// displaces its own size in fluid, which is charged to fluid loss: the
+// shared queue's byte conservation holds in both modes.
+func (f *FluidQueue) admitShare(size float64) bool {
+	f.fgDebt += 1 - f.rate/f.in
+	if f.fgDebt >= 1 {
+		f.fgDebt--
+		return false
+	}
+	f.dropped += size
+	return true
+}
+
+// outRate is the analytic output rate under the current state: the service
+// rate while a backlog drains, the inflow while it passes on tokens or
+// spare capacity, and the smaller of the two otherwise.
+func (f *FluidQueue) outRate() float64 {
+	if f.backlog > 0 {
+		return f.rate
+	}
+	if f.tokens > 0 {
+		return f.in
+	}
+	if f.in < f.rate {
+		return f.in
+	}
+	return f.rate
+}
+
+// arm refreshes the downstream coupling and schedules a re-evaluation at
+// the next analytic phase crossing. With no downstream queue there is
+// nothing to propagate and no event is scheduled: the integration itself
+// is exact over arbitrarily long constant-inflow intervals.
+func (f *FluidQueue) arm() {
+	if f.down == nil {
+		return
+	}
+	f.down.setSourceBytes(f.downID, f.outRate())
+	var dt float64
+	switch {
+	case f.backlog > 0 && f.in < f.rate:
+		dt = f.backlog / (f.rate - f.in)
+	case f.backlog <= 0 && f.tokens > 0 && f.in > f.rate:
+		dt = f.tokens / (f.in - f.rate)
+	default:
+		return
+	}
+	f.phaseSeq++
+	f.eng.afterCall(time.Duration(dt*float64(time.Second))+time.Nanosecond,
+		f, evFluidPhase, f.phaseSeq)
+}
+
+// handle dispatches the queue's phase-crossing callbacks.
+func (f *FluidQueue) handle(kind eventKind, arg uint64) {
+	if kind != evFluidPhase || arg != f.phaseSeq {
+		return // stale crossing: state changed since it was scheduled
+	}
+	f.Events++
+	f.advance(f.eng.Now())
+	f.arm()
+}
+
+// fluidStopArg marks a fluid source's scheduled stop event.
+const fluidStopArg = 1
+
+// FluidBackground drives the same mean-reverting rate walk as Background
+// but emits no packets: it pushes the instantaneous aggregate rate into
+// fluid queues as piecewise-constant inflow — one coarse event per
+// ModPeriod instead of one per packet.
+type FluidBackground struct {
+	eng *Engine
+	cfg BackgroundConfig
+	rng *rand.Rand
+
+	diff, def     *FluidQueue // either may be nil (class crosses no constrained hop)
+	diffID, defID int
+
+	factor  float64
+	stopped bool
+
+	// Events counts the coarse rate-update events processed.
+	Events int64
+}
+
+// NewFluidBackground creates a fluid twin of Background: diff receives the
+// differentiated share MeanRate×DiffFraction, def the remainder. Either
+// queue may be nil; if both name the same queue the full rate lands on it
+// through a single source. Call Start.
+func NewFluidBackground(eng *Engine, cfg BackgroundConfig, rng *rand.Rand, diff, def *FluidQueue) (*FluidBackground, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	b := &FluidBackground{eng: eng, cfg: cfg, rng: rng, diff: diff, def: def, factor: 1}
+	if diff != nil {
+		b.diffID = diff.AddSource()
+	}
+	if def != nil && def != diff {
+		b.defID = def.AddSource()
+	}
+	return b, nil
+}
+
+// Start begins the rate process at time at; the contribution is zeroed at
+// cfg.Stop.
+func (b *FluidBackground) Start(at time.Duration) {
+	b.eng.scheduleCall(at, b, evFluidModulate, 0)
+	b.eng.scheduleCall(b.cfg.Stop, b, evFluidModulate, fluidStopArg)
+}
+
+// handle dispatches the source's interned engine callbacks.
+func (b *FluidBackground) handle(kind eventKind, arg uint64) {
+	if kind != evFluidModulate {
+		return
+	}
+	b.Events++
+	if arg == fluidStopArg || b.eng.Now() >= b.cfg.Stop {
+		if !b.stopped {
+			b.stopped = true
+			b.push(0)
+		}
+		return
+	}
+	b.modulate()
+}
+
+// modulate re-draws the rate multiplier — the identical mean-reverting
+// walk Background.modulate runs — and pushes the new aggregate rate.
+func (b *FluidBackground) modulate() {
+	const theta = 0.25 // reversion strength toward 1
+	sigma := b.cfg.ModSpread / 2
+	b.factor += -theta*(b.factor-1) + b.rng.NormFloat64()*sigma
+	lo, hi := 1-b.cfg.ModSpread, 1+b.cfg.ModSpread
+	if b.factor < lo {
+		b.factor = lo
+	}
+	if b.factor > hi {
+		b.factor = hi
+	}
+	b.push(b.cfg.MeanRate * b.factor)
+	b.eng.afterCall(b.cfg.ModPeriod, b, evFluidModulate, 0)
+}
+
+// push splits rate (bits/s) across the class targets.
+func (b *FluidBackground) push(rate float64) {
+	if b.diff == b.def {
+		if b.diff != nil {
+			b.diff.SetSource(b.diffID, rate)
+		}
+		return
+	}
+	diffRate := rate * b.cfg.DiffFraction
+	if b.diff != nil {
+		b.diff.SetSource(b.diffID, diffRate)
+	}
+	if b.def != nil {
+		b.def.SetSource(b.defID, rate-diffRate)
+	}
+}
+
+// FluidChurn is the fluid twin of Churn: Poisson flow arrivals with
+// bounded-Pareto sizes, but each flow contributes PerFlowRate of
+// piecewise-constant fluid at its path's constrained hop for
+// size×8/PerFlowRate instead of sending packets. The population dynamics —
+// hence the demand trend at the bottleneck — are preserved; per-flow TCP
+// loss adaptation is not (DESIGN.md §14 lists this as a fidelity limit).
+type FluidChurn struct {
+	eng *Engine
+	cfg ChurnConfig
+	rng *rand.Rand
+
+	targets []*FluidQueue // per round-robin slot; nil = unconstrained path
+	srcIDs  []int
+	rates   []float64 // per-slot aggregate demand, bits/s
+
+	stopped bool
+
+	// Counters. Active/MaxActive expose the concurrent flow population —
+	// the ~400-flow operating point of the paper's CAIDA aggregate.
+	Arrived   int64
+	Bytes     int64
+	Active    int64
+	MaxActive int64
+	Events    int64
+}
+
+// NewFluidChurn creates a fluid churn source whose flows enter through the
+// constrained hops of the scenario's given path indices (round-robin).
+func NewFluidChurn(eng *Engine, cfg ChurnConfig, rng *rand.Rand, sc *Scenario, pathIdx []int) (*FluidChurn, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	c := &FluidChurn{eng: eng, cfg: cfg, rng: rng}
+	for _, idx := range pathIdx {
+		q := sc.FluidEntry(idx)
+		id := -1
+		if q != nil {
+			id = q.AddSource()
+		}
+		c.targets = append(c.targets, q)
+		c.srcIDs = append(c.srcIDs, id)
+		c.rates = append(c.rates, 0)
+	}
+	return c, nil
+}
+
+// Start schedules the first arrival; arrivals cease and all contributions
+// zero at cfg.Stop (matching packet-mode churn flows, whose TCP senders
+// stop at the same instant).
+func (c *FluidChurn) Start(at time.Duration) {
+	if len(c.targets) == 0 {
+		return
+	}
+	c.eng.scheduleCall(at, c, evFluidArrive, 0)
+	c.eng.scheduleCall(c.cfg.Stop, c, evFluidArrive, fluidStopArg)
+}
+
+// handle dispatches the source's interned engine callbacks.
+func (c *FluidChurn) handle(kind eventKind, arg uint64) {
+	switch kind {
+	case evFluidArrive:
+		c.Events++
+		if arg == fluidStopArg || c.eng.Now() >= c.cfg.Stop {
+			c.stop()
+			return
+		}
+		c.arrive()
+	case evFluidDepart:
+		c.Events++
+		c.depart(int(arg))
+	}
+}
+
+func (c *FluidChurn) stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for i, q := range c.targets {
+		if q != nil && c.rates[i] > 0 {
+			c.rates[i] = 0
+			q.SetSource(c.srcIDs[i], 0)
+		}
+	}
+	c.Active = 0
+}
+
+func (c *FluidChurn) arrive() {
+	size := c.cfg.drawBytes(c.rng)
+	slot := int(c.Arrived) % len(c.targets)
+	c.Arrived++
+	c.Bytes += size
+	c.Active++
+	if c.Active > c.MaxActive {
+		c.MaxActive = c.Active
+	}
+	c.rates[slot] += c.cfg.PerFlowRate
+	if q := c.targets[slot]; q != nil {
+		q.SetSource(c.srcIDs[slot], c.rates[slot])
+	}
+	life := time.Duration(float64(size) * 8 / c.cfg.PerFlowRate * float64(time.Second))
+	c.eng.afterCall(life, c, evFluidDepart, uint64(slot))
+
+	// Poisson arrivals sized so mean demand = MeanRate, exactly as Churn.
+	meanGap := c.cfg.meanFlowBytes() * 8 / c.cfg.MeanRate
+	gap := time.Duration(c.rng.ExpFloat64() * meanGap * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	c.eng.afterCall(gap, c, evFluidArrive, 0)
+}
+
+func (c *FluidChurn) depart(slot int) {
+	if c.stopped {
+		return
+	}
+	c.Active--
+	c.rates[slot] -= c.cfg.PerFlowRate
+	if c.rates[slot] < 0 {
+		c.rates[slot] = 0
+	}
+	if q := c.targets[slot]; q != nil {
+		q.SetSource(c.srcIDs[slot], c.rates[slot])
+	}
+}

@@ -24,6 +24,7 @@ type Link struct {
 	OnDrop DropHook
 
 	eng *Engine
+	fl  *FluidQueue // non-nil once Fluid() engages hybrid mode
 
 	queued     ring[*Packet]
 	queuedSize int
@@ -52,6 +53,10 @@ func NewLink(eng *Engine, name string, rate float64, delay time.Duration, next H
 
 // Send implements Hop.
 func (l *Link) Send(pkt *Packet) {
+	if l.fl != nil {
+		l.sendFluid(pkt)
+		return
+	}
 	if l.Rate <= 0 {
 		// Infinite bandwidth: pure propagation delay.
 		l.Forwarded++
@@ -83,6 +88,59 @@ func (l *Link) Send(pkt *Packet) {
 	pkt.QueuedFor -= l.eng.Now() // completed on dequeue
 	l.queued.Push(pkt)
 	l.queuedSize += pkt.Size
+}
+
+// Fluid returns the link's analytic fluid state, creating it on first use
+// and switching the link to the hybrid path; the link must have finite
+// bandwidth. Engage it before any packet has queued.
+func (l *Link) Fluid() *FluidQueue {
+	if l.fl == nil {
+		if l.Rate <= 0 {
+			panic("netsim: Fluid() on an infinite-bandwidth link")
+		}
+		if !l.qlimSet {
+			l.qlimSet = true
+			if l.QueueLimit == 0 {
+				l.QueueLimit = defaultQueueLimit(l.Rate)
+			}
+		}
+		l.fl = newFluidQueue(l.eng, l.Rate, 0, float64(l.QueueLimit))
+	}
+	return l.fl
+}
+
+// sendFluid folds a packet into the analytic FIFO backlog. The link
+// serializes at exactly Rate whenever a backlog exists, so the departure
+// offset (backlog+size)/rate is exact regardless of later arrivals.
+func (l *Link) sendFluid(pkt *Packet) {
+	f := l.fl
+	f.advance(l.eng.Now())
+	size := float64(pkt.Size)
+	if f.backlog > 0 && f.backlog+size > f.limit {
+		if !f.saturated() || !f.admitShare(size) {
+			l.Dropped++
+			if l.OnDrop != nil {
+				l.OnDrop(pkt, l.Name)
+			}
+			l.eng.FreePacket(pkt)
+			return
+		}
+		// Admitted under saturation: the packet joins behind the full
+		// analytic backlog, displacing its size in fluid (admitShare
+		// charged the displacement), so the backlog is left unchanged.
+		wait := time.Duration(f.backlog / f.rate * float64(time.Second))
+		f.arm()
+		pkt.QueuedFor += wait
+		l.Forwarded++
+		l.eng.AfterDeliver(wait+time.Duration(size/f.rate*float64(time.Second))+l.Delay, pkt, l.Next)
+		return
+	}
+	wait := time.Duration(f.backlog / f.rate * float64(time.Second))
+	f.backlog += size
+	f.arm()
+	pkt.QueuedFor += wait
+	l.Forwarded++
+	l.eng.AfterDeliver(wait+time.Duration(size/f.rate*float64(time.Second))+l.Delay, pkt, l.Next)
 }
 
 func (l *Link) transmit(pkt *Packet) {

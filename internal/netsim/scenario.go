@@ -71,6 +71,18 @@ type CommonSpec struct {
 	BgModSpread float64
 }
 
+// BackgroundMode selects how a scenario models its background aggregate.
+type BackgroundMode int
+
+const (
+	// BGPacket simulates every background packet (the default; exact).
+	BGPacket BackgroundMode = iota
+	// BGFluid models the background as piecewise-constant fluid inflow at
+	// each constrained hop, integrated in closed form (DESIGN.md §14);
+	// foreground traffic stays packet-granular.
+	BGFluid
+)
+
 // Scenario instantiates the topology of the paper's Figure 1: n paths from
 // distinct servers that converge at a common link sequence ending at the
 // client. Foreground flows are attached per path; background sources are
@@ -80,6 +92,7 @@ type Scenario struct {
 
 	common CommonSpec
 	paths  []PathSpec
+	mode   BackgroundMode
 
 	entries     []Hop // per-path entry (head of non-common segment)
 	pathLims    []*RateLimiter
@@ -88,6 +101,11 @@ type Scenario struct {
 	CommonPF    *PerFlowLimiter // nil unless configured
 	CommonLink  *Link
 	backgrounds []*Background
+	fluidBGs    []*FluidBackground
+
+	// fluidHops names every fluid queue engaged in this scenario, for
+	// FinishFluid's drop-log folding and FluidEvents.
+	fluidHops []namedFluid
 
 	receivers map[int]Hop
 
@@ -95,13 +113,29 @@ type Scenario struct {
 	DropLog map[string]int
 }
 
+type namedFluid struct {
+	name string
+	q    *FluidQueue
+}
+
 // backgroundFlowID marks background packets injected at the common segment;
 // path-local background uses backgroundFlowID-(pathIdx+1).
 const backgroundFlowID = -1
 
-// NewScenario builds the topology. seed derives the background traffic RNG
-// streams; identical seeds give identical background.
+// NewScenario builds the topology with packet-granular background. seed
+// derives the background traffic RNG streams; identical seeds give
+// identical background.
 func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) *Scenario {
+	return NewScenarioMode(eng, seed, BGPacket, common, paths...)
+}
+
+// NewScenarioMode builds the topology with the chosen background mode. In
+// BGFluid each background source feeds its segment's first constrained hop
+// (limiter, else finite link) as analytic fluid; segments with no
+// constrained hop get nothing, which is behaviorally exact — an infinite
+// link neither queues nor drops, and path-local background is discarded at
+// the join anyway.
+func NewScenarioMode(eng *Engine, seed int64, mode BackgroundMode, common CommonSpec, paths ...PathSpec) *Scenario {
 	if common.Delay <= 0 {
 		common.Delay = 5 * time.Millisecond
 	}
@@ -109,6 +143,7 @@ func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) 
 		Eng:       eng,
 		common:    common,
 		paths:     paths,
+		mode:      mode,
 		receivers: make(map[int]Hop),
 		DropLog:   make(map[string]int),
 	}
@@ -149,14 +184,28 @@ func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) 
 		commonHead.Send(pkt)
 	})
 	if common.BgRate > 0 {
-		bg := NewBackground(eng, BackgroundConfig{
+		cfg := BackgroundConfig{
 			MeanRate:     common.BgRate,
 			DiffFraction: common.BgDiffFraction,
 			ModPeriod:    common.BgModPeriod,
 			ModSpread:    common.BgModSpread,
 			Stop:         1 << 62,
-		}, rand.New(rand.NewSource(seed)), commonHead)
-		s.backgrounds = append(s.backgrounds, bg)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		if mode == BGFluid {
+			diffQ, defQ := s.commonFluidTargets()
+			bg, err := NewFluidBackground(eng, cfg, rng, diffQ, defQ)
+			if err != nil {
+				panic(err) // specs are scenario-derived; invalid means a wiring bug
+			}
+			s.fluidBGs = append(s.fluidBGs, bg)
+		} else {
+			bg, err := NewBackground(eng, cfg, rng, commonHead)
+			if err != nil {
+				panic(err)
+			}
+			s.backgrounds = append(s.backgrounds, bg)
+		}
 	}
 
 	// Per-path non-common segments.
@@ -186,19 +235,33 @@ func NewScenario(eng *Engine, seed int64, common CommonSpec, paths ...PathSpec) 
 		s.pathLims = append(s.pathLims, lim)
 		s.entries = append(s.entries, entry)
 		if p.BgRate > 0 {
-			bgID := backgroundFlowID - (i + 1)
-			src := entry
-			bg := NewBackground(eng, BackgroundConfig{
+			cfg := BackgroundConfig{
 				MeanRate:     p.BgRate,
 				DiffFraction: p.BgDiffFraction,
 				ModPeriod:    p.BgModPeriod,
 				ModSpread:    p.BgModSpread,
 				Stop:         1 << 62,
-			}, rand.New(rand.NewSource(seed+int64(i)+1)), HopFunc(func(pkt *Packet) {
-				pkt.Flow = bgID
-				src.Send(pkt)
-			}))
-			s.backgrounds = append(s.backgrounds, bg)
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i) + 1))
+			if mode == BGFluid {
+				diffQ, defQ := s.pathFluidTargets(i)
+				bg, err := NewFluidBackground(eng, cfg, rng, diffQ, defQ)
+				if err != nil {
+					panic(err)
+				}
+				s.fluidBGs = append(s.fluidBGs, bg)
+			} else {
+				bgID := backgroundFlowID - (i + 1)
+				src := entry
+				bg, err := NewBackground(eng, cfg, rng, HopFunc(func(pkt *Packet) {
+					pkt.Flow = bgID
+					src.Send(pkt)
+				}))
+				if err != nil {
+					panic(err)
+				}
+				s.backgrounds = append(s.backgrounds, bg)
+			}
 		}
 	}
 	return s
@@ -227,6 +290,97 @@ func (s *Scenario) StartBackground(start, stop time.Duration) {
 		bg.cfg.Stop = stop
 		bg.Start(start)
 	}
+	for _, bg := range s.fluidBGs {
+		bg.cfg.Stop = stop
+		bg.Start(start)
+	}
+}
+
+// trackFluid registers a named fluid queue for FinishFluid/FluidEvents,
+// deduplicating by pointer.
+func (s *Scenario) trackFluid(name string, q *FluidQueue) *FluidQueue {
+	for _, nf := range s.fluidHops {
+		if nf.q == q {
+			return q
+		}
+	}
+	s.fluidHops = append(s.fluidHops, namedFluid{name: name, q: q})
+	return q
+}
+
+// commonFluidTargets resolves the common segment's fluid queues: the
+// differentiated class lands on the limiter (coupled into the finite
+// common link, if any); the default class bypasses onto the finite link.
+// A per-flow limiter is a packet-granular device with no aggregate-fluid
+// analog, so fluid background treats it as transparent.
+func (s *Scenario) commonFluidTargets() (diff, def *FluidQueue) {
+	var linkQ *FluidQueue
+	if s.common.Rate > 0 {
+		linkQ = s.trackFluid(s.CommonLink.Name, s.CommonLink.Fluid())
+	}
+	if s.CommonLim != nil {
+		limQ := s.trackFluid(s.CommonLim.Name, s.CommonLim.Fluid())
+		if linkQ != nil {
+			limQ.FeedsInto(linkQ)
+		}
+		return limQ, linkQ
+	}
+	return linkQ, linkQ
+}
+
+// pathFluidTargets is commonFluidTargets for path i's non-common segment.
+func (s *Scenario) pathFluidTargets(i int) (diff, def *FluidQueue) {
+	var linkQ *FluidQueue
+	if l := s.pathLinks[i]; l.Rate > 0 {
+		linkQ = s.trackFluid(l.Name, l.Fluid())
+	}
+	if lim := s.pathLims[i]; lim != nil {
+		limQ := s.trackFluid(lim.Name, lim.Fluid())
+		if linkQ != nil {
+			limQ.FeedsInto(linkQ)
+		}
+		return limQ, linkQ
+	}
+	return linkQ, linkQ
+}
+
+// FluidEntry resolves where fluid demand entering through path i meets its
+// first constrained hop: the path's limiter, else its finite link, else
+// the common limiter, else the finite common link; nil if the whole route
+// is unconstrained (then the demand could never queue or drop anywhere in
+// packet mode either).
+func (s *Scenario) FluidEntry(i int) *FluidQueue {
+	if diffQ, _ := s.pathFluidTargets(i); diffQ != nil {
+		return diffQ
+	}
+	diffQ, _ := s.commonFluidTargets()
+	return diffQ
+}
+
+// FinishFluid advances every engaged fluid queue to at and folds the
+// accumulated fluid loss into DropLog (as mean-size packet equivalents)
+// under the same hop names packet mode uses. Call once, after the run.
+func (s *Scenario) FinishFluid(at time.Duration) {
+	for _, nf := range s.fluidHops {
+		st := nf.q.Stats(at)
+		if n := int(st.DroppedBytes / meanBgPacketSize()); n > 0 {
+			s.DropLog[nf.name] += n
+		}
+	}
+}
+
+// FluidEvents sums the coarse bookkeeping events processed by the
+// scenario's fluid queues and background walks (churn events are owned by
+// the FluidChurn instance). It measures what replaced per-packet work.
+func (s *Scenario) FluidEvents() int64 {
+	var n int64
+	for _, nf := range s.fluidHops {
+		n += nf.q.Events
+	}
+	for _, bg := range s.fluidBGs {
+		n += bg.Events
+	}
+	return n
 }
 
 // PathLimiter returns the limiter on path i's non-common segment (nil if

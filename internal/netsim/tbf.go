@@ -37,6 +37,7 @@ type RateLimiter struct {
 	Active bool
 
 	eng *Engine
+	fl  *FluidQueue // non-nil once Fluid() engages hybrid mode
 
 	tokens     float64 // bytes
 	lastRefill time.Duration
@@ -85,6 +86,10 @@ func (r *RateLimiter) Send(pkt *Packet) {
 		r.drop(pkt)
 		return
 	}
+	if r.fl != nil {
+		r.sendFluid(pkt)
+		return
+	}
 	r.refill()
 	if r.queued.Len() == 0 && r.tokens >= float64(pkt.Size) {
 		r.tokens -= float64(pkt.Size)
@@ -109,6 +114,64 @@ func (r *RateLimiter) Send(pkt *Packet) {
 	r.queued.Push(pkt)
 	r.queuedSize += pkt.Size
 	r.scheduleDrain()
+}
+
+// Fluid returns the limiter's analytic fluid-integration state, creating
+// it on first use and switching differentiated traffic to the hybrid path:
+// fluid sources share the bucket analytically, and foreground packets fold
+// into the analytic backlog instead of the packet queue. Engage it before
+// any packet has queued.
+func (r *RateLimiter) Fluid() *FluidQueue {
+	if r.fl == nil {
+		r.fl = newFluidQueue(r.eng, r.Rate, float64(r.Burst), float64(r.QueueLimit))
+	}
+	return r.fl
+}
+
+// sendFluid admits a differentiated packet against the analytic state.
+// While a backlog exists the TBF serves at exactly Rate (tokens are zero
+// and stay zero), so the packet's departure offset backlog/rate is exact
+// and later arrivals cannot change it — one deliver event per packet,
+// no drain events.
+func (r *RateLimiter) sendFluid(pkt *Packet) {
+	f := r.fl
+	f.advance(r.eng.Now())
+	size := float64(pkt.Size)
+	if f.backlog <= 0 && f.tokens >= size {
+		f.tokens -= size
+		f.arm()
+		r.Forwarded++
+		r.forward(pkt)
+		return
+	}
+	if r.Rate <= 0 {
+		// Blackhole past the burst, as in the packet path.
+		r.drop(pkt)
+		return
+	}
+	if f.backlog+size > f.limit {
+		if !f.saturated() || !f.admitShare(size) {
+			r.drop(pkt)
+			return
+		}
+		// Admitted under saturation: the packet joins behind the analytic
+		// backlog (displacing fluid, so the backlog itself is unchanged).
+		// For a pure policer the backlog is zero and the packet forwards
+		// with no queueing delay, exactly like a token-winning packet.
+		wait := time.Duration(f.backlog / f.rate * float64(time.Second))
+		pkt.QueuedFor += wait
+		r.Forwarded++
+		r.eng.AfterDeliver(wait, pkt, r.Next)
+		return
+	}
+	// Partial token coverage folds in: the uncovered remainder queues.
+	f.backlog += size - f.tokens
+	f.tokens = 0
+	wait := time.Duration(f.backlog / f.rate * float64(time.Second))
+	f.arm()
+	pkt.QueuedFor += wait
+	r.Forwarded++
+	r.eng.AfterDeliver(wait, pkt, r.Next)
 }
 
 // drop counts, reports, and recycles a dropped packet.

@@ -101,7 +101,10 @@ func TestBackgroundRateAndClassMix(t *testing.T) {
 	var eng Engine
 	col := &collector{eng: &eng}
 	cfg := BackgroundConfig{MeanRate: 8e6, DiffFraction: 0.5, Stop: 10 * time.Second}
-	bg := NewBackground(&eng, cfg, rand.New(rand.NewSource(3)), col)
+	bg, err := NewBackground(&eng, cfg, rand.New(rand.NewSource(3)), col)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bg.Start(0)
 	eng.Run(10 * time.Second)
 
@@ -127,7 +130,10 @@ func TestBackgroundRateIsModulated(t *testing.T) {
 		}
 	})
 	cfg := BackgroundConfig{MeanRate: 8e6, Stop: 20 * time.Second, ModSpread: 0.6}
-	bg := NewBackground(&eng, cfg, rand.New(rand.NewSource(4)), sink)
+	bg, err := NewBackground(&eng, cfg, rand.New(rand.NewSource(4)), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bg.Start(0)
 	eng.Run(20 * time.Second)
 
@@ -150,7 +156,10 @@ func TestBackgroundDeterminism(t *testing.T) {
 	run := func() int64 {
 		var eng Engine
 		cfg := BackgroundConfig{MeanRate: 5e6, DiffFraction: 0.3, Stop: 3 * time.Second}
-		bg := NewBackground(&eng, cfg, rand.New(rand.NewSource(9)), Discard)
+		bg, err := NewBackground(&eng, cfg, rand.New(rand.NewSource(9)), Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
 		bg.Start(0)
 		eng.Run(3 * time.Second)
 		return bg.SentBytes

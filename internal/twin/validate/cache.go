@@ -12,8 +12,9 @@ import (
 // the value encoding — a stale entry must never be indistinguishable from
 // a fresh run.
 const (
-	tbfCacheSchema = "wehey/twincache/tbf/v1"
-	mg1CacheSchema = "wehey/twincache/mg1/v1"
+	tbfCacheSchema    = "wehey/twincache/tbf/v1"
+	mg1CacheSchema    = "wehey/twincache/mg1/v1"
+	hybridCacheSchema = "wehey/twincache/hybrid/v1"
 )
 
 // Cache memoizes validation-point ground truth, keyed by the full point
@@ -21,13 +22,18 @@ const (
 // service draws), so a cached measurement is exactly a rerun — warm
 // validation sweeps only pay for the analytical side.
 type Cache struct {
-	tbf *simcache.Cache[TBFMeasurement]
-	mg1 *simcache.Cache[MG1Summary]
+	tbf    *simcache.Cache[TBFMeasurement]
+	mg1    *simcache.Cache[MG1Summary]
+	hybrid *simcache.Cache[HybridMeasurement]
 }
 
 // NewCache returns an in-memory cache.
 func NewCache() *Cache {
-	return &Cache{tbf: simcache.New[TBFMeasurement](), mg1: simcache.New[MG1Summary]()}
+	return &Cache{
+		tbf:    simcache.New[TBFMeasurement](),
+		mg1:    simcache.New[MG1Summary](),
+		hybrid: simcache.New[HybridMeasurement](),
+	}
 }
 
 // NewDiskCache returns a cache persisted under dir (one file per point,
@@ -41,16 +47,20 @@ func NewDiskCache(dir string) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{tbf: tbf, mg1: mg1}, nil
+	hybrid, err := simcache.NewDisk(dir, hybridCodec())
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{tbf: tbf, mg1: mg1, hybrid: hybrid}, nil
 }
 
-// Stats returns the combined counters over both point kinds.
+// Stats returns the combined counters over all point kinds.
 func (c *Cache) Stats() simcache.Stats {
-	t, m := c.tbf.Stats(), c.mg1.Stats()
+	t, m, h := c.tbf.Stats(), c.mg1.Stats(), c.hybrid.Stats()
 	return simcache.Stats{
-		Hits:     t.Hits + m.Hits,
-		DiskHits: t.DiskHits + m.DiskHits,
-		Misses:   t.Misses + m.Misses,
+		Hits:     t.Hits + m.Hits + h.Hits,
+		DiskHits: t.DiskHits + m.DiskHits + h.DiskHits,
+		Misses:   t.Misses + m.Misses + h.Misses,
 	}
 }
 
@@ -67,6 +77,16 @@ func (c *Cache) mg1Point(pt MG1Point) MG1Summary {
 	key := simcache.KeyOf(mg1CacheSchema, encodeMG1Point(pt))
 	return c.mg1.Get(key, func() MG1Summary {
 		return RunMG1Point(pt)
+	})
+}
+
+// hybridPoint runs one hybrid grid point in the given mode through the
+// cache. The mode is part of the encoded spec so the packet and fluid
+// measurements of the same point never alias.
+func (c *Cache) hybridPoint(pt HybridPoint, fluid bool) HybridMeasurement {
+	key := simcache.KeyOf(hybridCacheSchema, encodeHybridPoint(pt, fluid))
+	return c.hybrid.Get(key, func() HybridMeasurement {
+		return RunHybridPoint(pt, fluid)
 	})
 }
 
@@ -123,6 +143,73 @@ func tbfCodec() simcache.Codec[TBFMeasurement] {
 			m.FirstDrop = time.Duration(v)
 			if len(b) != 0 {
 				return m, errors.New("twincache: trailing bytes in TBF entry")
+			}
+			return m, nil
+		},
+	}
+}
+
+// encodeHybridPoint canonically serializes a hybrid point spec plus the
+// packet/fluid mode it was measured under; like encodeTBFPoint it
+// deliberately excludes Name and Tol.
+//
+//lint:ignore cachekey Name and Tol do not affect simulated ground truth; see doc comment
+func encodeHybridPoint(pt HybridPoint, fluid bool) []byte {
+	b := make([]byte, 0, 96)
+	b = measure.AppendFloat64(b, pt.Rate)
+	b = measure.AppendInt64(b, int64(pt.Burst))
+	b = measure.AppendInt64(b, int64(pt.QueueLimit))
+	b = measure.AppendFloat64(b, pt.BgRate)
+	b = measure.AppendFloat64(b, pt.BgModSpread)
+	b = measure.AppendInt64(b, int64(pt.BgModPeriod))
+	b = measure.AppendInt64(b, int64(pt.BgPacket))
+	b = measure.AppendFloat64(b, pt.FgRate)
+	b = measure.AppendInt64(b, int64(pt.FgPacket))
+	b = measure.AppendString(b, string(pt.FgProc))
+	b = measure.AppendInt64(b, int64(pt.Horizon))
+	b = measure.AppendInt64(b, pt.Seed)
+	mode := int64(0)
+	if fluid {
+		mode = 1
+	}
+	b = measure.AppendInt64(b, mode)
+	return b
+}
+
+func hybridCodec() simcache.Codec[HybridMeasurement] {
+	return simcache.Codec[HybridMeasurement]{
+		Encode: func(m HybridMeasurement) []byte {
+			b := make([]byte, 0, 40)
+			b = measure.AppendFloat64(b, m.BgLossRate)
+			b = measure.AppendFloat64(b, m.FgLossRate)
+			b = measure.AppendInt64(b, int64(m.FgP50))
+			b = measure.AppendInt64(b, int64(m.FgP95))
+			b = measure.AppendInt64(b, m.Events)
+			return b
+		},
+		Decode: func(b []byte) (HybridMeasurement, error) {
+			var m HybridMeasurement
+			var err error
+			var v int64
+			if m.BgLossRate, b, err = measure.DecodeFloat64(b); err != nil {
+				return m, err
+			}
+			if m.FgLossRate, b, err = measure.DecodeFloat64(b); err != nil {
+				return m, err
+			}
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			m.FgP50 = time.Duration(v)
+			if v, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			m.FgP95 = time.Duration(v)
+			if m.Events, b, err = measure.DecodeInt64(b); err != nil {
+				return m, err
+			}
+			if len(b) != 0 {
+				return m, errors.New("twincache: trailing bytes in hybrid entry")
 			}
 			return m, nil
 		},

@@ -1,0 +1,80 @@
+package validate
+
+import (
+	"testing"
+)
+
+// TestHybridBackgroundMatchesPacketGroundTruth is the equivalence gate for
+// the fluid background mode (DESIGN.md §14): across the hybrid grid the
+// fluid run's background loss, foreground loss, and foreground delay
+// quantiles must land inside each point's band against the packet-granular
+// run of the identical rate trajectory — and the full-rate point must show
+// the ≥50x event saving the mode exists for. -short (the race-detector CI
+// lane) runs the reduced one-point-per-regime grid; the default lane and
+// `wehey-twin validate` sweep everything.
+func TestHybridBackgroundMatchesPacketGroundTruth(t *testing.T) {
+	cache, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultHybridGrid()
+	if len(grid) < 8 {
+		t.Fatalf("hybrid grid has %d points, want >= 8", len(grid))
+	}
+	if testing.Short() {
+		grid = ReducedHybridGrid()
+		if len(grid) < 4 {
+			t.Fatalf("reduced hybrid grid has %d points, want >= 4", len(grid))
+		}
+	}
+	fullRateSeen := false
+	for _, pt := range grid {
+		rep := EvalHybridPoint(pt, cache)
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", pt.Name, v)
+		}
+		if pt.Tol.MinEventRatio > 0 {
+			fullRateSeen = true
+			t.Logf("%s: packet %d events, fluid %d events (%.0fx)",
+				pt.Name, rep.Packet.Events, rep.Fluid.Events, rep.EventRatio)
+		}
+	}
+	if !fullRateSeen {
+		t.Error("no grid point enforces the full-rate event-ratio gate")
+	}
+}
+
+// TestHybridCacheRoundTrip pins the hybrid point codec and the
+// mode-separation of the cache key: packet and fluid measurements of the
+// same point must occupy distinct entries and decode bit-identically.
+func TestHybridCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pt := ReducedHybridGrid()[0]
+
+	cold, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packet := cold.hybridPoint(pt, false)
+	fluid := cold.hybridPoint(pt, true)
+	if packet == fluid {
+		t.Fatal("packet and fluid measurements identical — mode byte missing from the key?")
+	}
+	if st := cold.Stats(); st.Misses != 2 {
+		t.Fatalf("cold stats: %+v, want 2 misses", st)
+	}
+
+	warm, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.hybridPoint(pt, false); got != packet {
+		t.Errorf("warm packet measurement %+v != cold %+v", got, packet)
+	}
+	if got := warm.hybridPoint(pt, true); got != fluid {
+		t.Errorf("warm fluid measurement %+v != cold %+v", got, fluid)
+	}
+	if st := warm.Stats(); st.Misses != 0 || st.DiskHits != 2 {
+		t.Errorf("warm stats: %+v, want 2 disk hits and 0 misses", st)
+	}
+}

@@ -29,17 +29,21 @@ type MG1Report struct {
 
 // Report is a full sweep's outcome.
 type Report struct {
-	TBF []TBFReport
-	MG1 []MG1Report
+	TBF    []TBFReport
+	MG1    []MG1Report
+	Hybrid []HybridReport
 }
 
-// ViolationCount sums tolerance violations across both sweeps.
+// ViolationCount sums tolerance violations across all sweeps.
 func (r Report) ViolationCount() int {
 	n := 0
 	for _, p := range r.TBF {
 		n += len(p.Violations)
 	}
 	for _, p := range r.MG1 {
+		n += len(p.Violations)
+	}
+	for _, p := range r.Hybrid {
 		n += len(p.Violations)
 	}
 	return n
@@ -180,12 +184,16 @@ func DefaultMG1Points() []MG1Point {
 func Run(cache *Cache, workers int) Report {
 	grid := DefaultTBFGrid()
 	points := DefaultMG1Points()
+	hybrid := DefaultHybridGrid()
 	return Report{
 		TBF: experiments.ForEach(len(grid), workers, func(i int) TBFReport {
 			return EvalTBFPoint(grid[i], cache)
 		}),
 		MG1: experiments.ForEach(len(points), workers, func(i int) MG1Report {
 			return EvalMG1Point(points[i], cache)
+		}),
+		Hybrid: experiments.ForEach(len(hybrid), workers, func(i int) HybridReport {
+			return EvalHybridPoint(hybrid[i], cache)
 		}),
 	}
 }
@@ -218,6 +226,20 @@ func (r Report) Render() string {
 		fmt.Fprintf(&b, "  %-34s %-4s mean %.3f/%.3f  p50 %.3f/%.3f  p95 %.3f/%.3f\n",
 			p.Point.Name, status, p.PredMean, p.Meas.MeanSojourn,
 			p.PredP50, p.Meas.P50, p.PredP95, p.Meas.P95)
+		for _, v := range p.Violations {
+			fmt.Fprintf(&b, "      violation: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "hybrid fluid background vs packet background (%d points)\n", len(r.Hybrid))
+	for _, p := range r.Hybrid {
+		status := "ok"
+		if len(p.Violations) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-34s %-4s bg-loss %.4f/%.4f  fg p95 %v/%v  events %.0fx\n",
+			p.Point.Name, status, p.Packet.BgLossRate, p.Fluid.BgLossRate,
+			p.Packet.FgP95.Round(time.Microsecond), p.Fluid.FgP95.Round(time.Microsecond),
+			p.EventRatio)
 		for _, v := range p.Violations {
 			fmt.Fprintf(&b, "      violation: %s\n", v)
 		}
