@@ -4,7 +4,9 @@
 //
 //	wehey-submit -server http://127.0.0.1:9400 submit -backend sim -seed 7
 //	wehey-submit -server http://127.0.0.1:9400 submit -backend testbed -pair A -wait
+//	wehey-submit -server http://127.0.0.1:9400 submit -backend null -batch 1000
 //	wehey-submit -server http://127.0.0.1:9400 get j000001
+//	wehey-submit -server http://127.0.0.1:9400 status j000001 j000002 j000003
 //	wehey-submit -server http://127.0.0.1:9400 wait j000001
 //	wehey-submit -server http://127.0.0.1:9400 cancel j000001
 //	wehey-submit -server http://127.0.0.1:9400 list
@@ -12,7 +14,12 @@
 //
 // submit prints the assigned job ID on the first line (scripting-friendly);
 // with -wait it polls until the job is terminal and exits non-zero unless
-// the job is done.
+// the job is done. With -batch N it submits N copies of the spec — seeds
+// incrementing from -seed — in one round-trip (one server-side journal
+// fsync for the whole batch) and prints one job ID per line. status takes
+// many IDs and fetches them in one round-trip; list pages through the
+// server cursor transparently, so huge campaigns list in bounded memory
+// per request.
 package main
 
 import (
@@ -44,6 +51,11 @@ func main() {
 		job, err := c.Job(ctx, args[1])
 		fatalIf(err)
 		printJSON(job)
+	case "status":
+		needID(args)
+		jobs, missing, err := c.StatusBatch(ctx, args[1:])
+		fatalIf(err)
+		printJSON(service.BatchStatusResponse{Jobs: jobs, Missing: missing})
 	case "wait":
 		needID(args)
 		job, err := c.Await(ctx, args[1], 0)
@@ -71,7 +83,7 @@ func main() {
 func submit(ctx context.Context, c *service.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
-		backend  = fs.String("backend", service.BackendSim, "sim | testbed")
+		backend  = fs.String("backend", service.BackendSim, "sim | testbed | null")
 		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
 		pair     = fs.String("pair", "", "server pair the job occupies (jobs sharing a pair serialize)")
 		seed     = fs.Int64("seed", 1, "job seed (identical sim specs share a cache entry)")
@@ -79,25 +91,46 @@ func submit(ctx context.Context, c *service.Client, args []string) {
 		attempts = fs.Int("attempts", 0, "max attempts (0 = server default)")
 		app      = fs.String("app", "", "application trace (default per backend)")
 		duration = fs.Duration("duration", 0, "replay duration (0 = backend default)")
-		wait     = fs.Bool("wait", false, "poll until the job is terminal")
+		batch    = fs.Int("batch", 1, "submit N copies of the spec (seeds incrementing from -seed) in one round-trip")
+		wait     = fs.Bool("wait", false, "poll until the job is terminal (single submissions only)")
 	)
 	fs.Parse(args) // ExitOnError: Parse never returns an error
+	if *batch < 1 {
+		fatalIf(fmt.Errorf("-batch must be at least 1, got %d", *batch))
+	}
 
-	spec := service.Spec{
-		Backend:     *backend,
-		Priority:    *priority,
-		ServerPair:  *pair,
-		Seed:        *seed,
-		Deadline:    *deadline,
-		MaxAttempts: *attempts,
+	makeSpec := func(seed int64) service.Spec {
+		spec := service.Spec{
+			Backend:     *backend,
+			Priority:    *priority,
+			ServerPair:  *pair,
+			Seed:        seed,
+			Deadline:    *deadline,
+			MaxAttempts: *attempts,
+		}
+		switch *backend {
+		case service.BackendSim:
+			spec.Sim = &service.SimJob{App: *app, Duration: *duration}
+		case service.BackendTestbed:
+			spec.Testbed = &service.TestbedJob{App: *app, Duration: *duration}
+		}
+		return spec
 	}
-	switch *backend {
-	case service.BackendSim:
-		spec.Sim = &service.SimJob{App: *app, Duration: *duration}
-	case service.BackendTestbed:
-		spec.Testbed = &service.TestbedJob{App: *app, Duration: *duration}
+
+	if *batch > 1 {
+		specs := make([]service.Spec, *batch)
+		for i := range specs {
+			specs[i] = makeSpec(*seed + int64(i))
+		}
+		jobs, err := c.SubmitBatch(ctx, specs)
+		fatalIf(err)
+		for _, job := range jobs {
+			fmt.Println(job.ID)
+		}
+		return
 	}
-	job, err := c.Submit(ctx, spec)
+
+	job, err := c.Submit(ctx, makeSpec(*seed))
 	fatalIf(err)
 	fmt.Println(job.ID)
 	if !*wait {
@@ -128,7 +161,7 @@ func printJSON(v any) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wehey-submit [-server URL] {submit|get|wait|cancel|list|metrics} ...")
+	fmt.Fprintln(os.Stderr, "usage: wehey-submit [-server URL] {submit|get|status|wait|cancel|list|metrics} ...")
 	os.Exit(2)
 }
 

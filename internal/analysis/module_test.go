@@ -490,6 +490,14 @@ func TestLockHeldFixture(t *testing.T) {
 	runFixture(t, AnalyzerLockHeld, "internal/service", "lockheld.go")
 }
 
+// The sharded-scheduler idiom: blocking journal appends or wakeup sends
+// inside a shard critical section are flagged; append-after-unlock,
+// non-blocking wakeup hints, and the two-phase cross-shard claim stay
+// quiet.
+func TestLockHeldShardFixture(t *testing.T) {
+	runFixture(t, AnalyzerLockHeld, "internal/service", "lockheld_shard.go")
+}
+
 // Out of scope: identical lock-then-block code outside LockHeldScope is
 // not audited.
 func TestLockHeldOutOfScope(t *testing.T) {

@@ -102,6 +102,20 @@ func (b *SimBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
 	}, nil
 }
 
+// NullBackend runs "null" jobs: it returns a canned result immediately.
+// With it installed, a job's end-to-end cost is pure control plane —
+// admission, journal commit, scheduling, completion — which is exactly
+// what the service benchmarks and the CI load phase want to measure.
+type NullBackend struct{}
+
+// Run completes instantly (still honoring a pre-canceled context).
+func (NullBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Backend: BackendNull, Detail: "null backend"}, nil
+}
+
 // TestbedBackend runs "testbed" jobs: a full WeHeY localization session
 // (single replays, simultaneous replays, confirmation, common-bottleneck
 // detection) over real UDP sockets through the in-process differentiating

@@ -1,0 +1,537 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
+)
+
+func TestSubmitBatchRunsAll(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 4}, b)
+	specs := make([]Spec, 10)
+	for i := range specs {
+		specs[i] = stubSpec(int64(100 + i))
+	}
+	jobs, err := s.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(specs) {
+		t.Fatalf("admitted %d jobs, want %d", len(jobs), len(specs))
+	}
+	for i, j := range jobs {
+		if j.Seq != uint64(i+1) || j.Spec.Seed != specs[i].Seed {
+			t.Errorf("job %d = seq %d seed %d, want seq %d seed %d",
+				i, j.Seq, j.Spec.Seed, i+1, specs[i].Seed)
+		}
+		waitState(t, s, j.ID, StateDone)
+	}
+	m := s.Metrics()
+	if m.BatchSubmits != 1 || m.BatchJobs != 10 {
+		t.Errorf("batch counters = %d/%d, want 1/10", m.BatchSubmits, m.BatchJobs)
+	}
+	if m.Done != 10 {
+		t.Errorf("done = %d, want 10", m.Done)
+	}
+}
+
+func TestSubmitBatchAllOrNothing(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 1, QueueLimit: 4}, b)
+
+	// One bad spec poisons the whole batch; nothing is admitted.
+	specs := []Spec{stubSpec(1), {Backend: ""}, stubSpec(3)}
+	if _, err := s.SubmitBatch(specs); err == nil {
+		t.Fatal("batch with an invalid spec admitted")
+	}
+	if m := s.Metrics(); m.Submitted != 0 {
+		t.Errorf("submitted = %d after rejected batch, want 0", m.Submitted)
+	}
+
+	// A batch larger than the remaining queue capacity is rejected whole.
+	big := []Spec{stubSpec(1), stubSpec(2), stubSpec(3), stubSpec(4), stubSpec(5)}
+	if _, err := s.SubmitBatch(big); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized batch error = %v, want ErrQueueFull", err)
+	}
+	if m := s.Metrics(); m.Queued != 0 {
+		t.Errorf("queued = %d after rejected batch, want 0", m.Queued)
+	}
+}
+
+// TestBatchKillResumeExactlyOnce is the group-commit durability core:
+// many goroutines batch-submit against a journaled scheduler, the
+// process "dies" (the scheduler is abandoned without Close, exactly the
+// state a SIGKILL leaves), and the next process must resume every
+// acknowledged job exactly once — no acknowledged job lost, no
+// unacknowledged job invented.
+func TestBatchKillResumeExactlyOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wj")
+	s1, err := NewScheduler(Options{
+		Workers:    2,
+		QueueLimit: 4096,
+		Clock:      clock.NewManual(time.Unix(1700000000, 0)),
+		// MaxDelay stays 0 (a manual clock would park a dwell forever):
+		// concurrent batches still share group commits through fsync
+		// backpressure on the single committer.
+		JournalPath: path,
+		Backends:    map[string]Backend{"stub": newStubBackend()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately never Start or Close s1: jobs stay queued, and
+	// abandoning the scheduler leaves exactly the on-disk state a kill
+	// would (every acknowledged record fsynced, nothing else).
+
+	const goroutines, perBatch = 8, 25
+	acked := make([][]Job, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			specs := make([]Spec, perBatch)
+			for i := range specs {
+				specs[i] = stubSpec(int64(g*1000 + i))
+			}
+			jobs, err := s1.SubmitBatch(specs)
+			if err != nil {
+				t.Errorf("SubmitBatch: %v", err)
+				return
+			}
+			acked[g] = jobs
+		}()
+	}
+	wg.Wait()
+
+	// "Restart": recover the journal into a fresh scheduler.
+	b2 := newStubBackend()
+	s2 := journalScheduler(t, path, b2)
+	wantJobs := map[string]int64{}
+	for _, jobs := range acked {
+		for _, j := range jobs {
+			wantJobs[j.ID] = j.Spec.Seed
+		}
+	}
+	list := s2.List()
+	if len(list) != len(wantJobs) {
+		t.Fatalf("recovered %d jobs, want %d (acked jobs only)", len(list), len(wantJobs))
+	}
+	for _, j := range list {
+		seed, ok := wantJobs[j.ID]
+		if !ok {
+			t.Fatalf("recovered job %s was never acknowledged", j.ID)
+		}
+		if j.Spec.Seed != seed || j.State != StateQueued || !j.Resumed {
+			t.Fatalf("job %s = seed %d state %s resumed %v, want seed %d queued resumed",
+				j.ID, j.Spec.Seed, j.State, j.Resumed, seed)
+		}
+	}
+
+	s2.Start()
+	for id := range wantJobs {
+		waitState(t, s2, id, StateDone)
+	}
+	// Exactly once: every seed ran a single time.
+	for _, seed := range wantJobs {
+		if n := b2.runCount(seed); n != 1 {
+			t.Errorf("resumed job seed=%d ran %d times, want 1", seed, n)
+		}
+	}
+}
+
+// TestJournalTornTailAcrossBatchBoundary checks the recovery grain: the
+// batch is a durability unit (one fsync) but not a recovery-atomicity
+// unit — records are individually framed, so a torn tail inside the
+// second batch keeps the first batch and the second's intact prefix.
+func TestJournalTornTailAcrossBatchBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wj")
+	jr, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := []record{submitRecord("j000001", 1, 1), submitRecord("j000002", 2, 2)}
+	batch2 := []record{submitRecord("j000003", 3, 3), submitRecord("j000004", 4, 4)}
+	if err := jr.AppendBatch(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.AppendBatch(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail mid-way through batch2's last record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3 (batch1 whole + batch2 prefix)", len(rec.Records))
+	}
+	for i, want := range []string{"j000001", "j000002", "j000003"} {
+		if rec.Records[i].ID != want {
+			t.Errorf("record %d = %s, want %s", i, rec.Records[i].ID, want)
+		}
+	}
+	if rec.DroppedBytes == 0 {
+		t.Error("torn record not counted as dropped")
+	}
+}
+
+// TestJournalCloseDrainsInFlightAppends is the Close-contract regression
+// test: appends racing Close are either fsynced-and-acknowledged or
+// rejected with ErrJournalClosed — an append must never return nil
+// without its record surviving on disk. The manual clock keeps the
+// MaxDelay dwell from ever firing on its own, so the appends are genuinely
+// parked in the pipeline when Close arrives.
+func TestJournalCloseDrainsInFlightAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wj")
+	mc := clock.NewManual(time.Unix(1700000000, 0))
+	jr, _, err := OpenJournalOptions(path, JournalOptions{
+		MaxBatch: 1024,
+		MaxDelay: time.Hour, // only Close can flush the dwell
+		Clock:    mc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const appends = 32
+	ackErr := make([]error, appends)
+	var wg sync.WaitGroup
+	for i := 0; i < appends; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ackErr[i] = jr.Append(submitRecord(fmt.Sprintf("j%06d", i+1), uint64(i+1), int64(i)))
+		}()
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Every nil-returning append's record must be recoverable.
+	_, rec, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, r := range rec.Records {
+		onDisk[r.ID] = true
+	}
+	var ackedOK, closed int
+	for i, err := range ackErr {
+		id := fmt.Sprintf("j%06d", i+1)
+		switch {
+		case err == nil:
+			ackedOK++
+			if !onDisk[id] {
+				t.Errorf("append %s acknowledged but not on disk", id)
+			}
+		case errors.Is(err, ErrJournalClosed):
+			closed++
+		default:
+			t.Errorf("append %s: unexpected error %v", id, err)
+		}
+	}
+	if ackedOK+closed != appends {
+		t.Errorf("acked %d + closed %d != %d appends", ackedOK, closed, appends)
+	}
+	if len(rec.Records) < ackedOK {
+		t.Errorf("%d records on disk < %d acknowledged", len(rec.Records), ackedOK)
+	}
+
+	// Post-Close appends fail typed.
+	if err := jr.Append(submitRecord("j999999", 999999, 0)); !errors.Is(err, ErrJournalClosed) {
+		t.Errorf("append after close = %v, want ErrJournalClosed", err)
+	}
+	// Close is idempotent.
+	if err := jr.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestShardedSchedulerContention exercises the sharded hot path under
+// -race: batched and single submissions across many distinct pairs
+// (cross-shard traffic), a contended hot pair (same-shard
+// serialization), concurrent cancels, and metrics/list/get readers.
+func TestShardedSchedulerContention(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 8, QueueLimit: 4096, Shards: 8}, b)
+
+	const submitters, perBatch = 6, 20
+	var wg sync.WaitGroup
+	ids := make(chan string, submitters*perBatch*2)
+	for g := 0; g < submitters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			specs := make([]Spec, perBatch)
+			for i := range specs {
+				specs[i] = stubSpec(int64(g*1000 + i))
+				switch i % 3 {
+				case 0:
+					specs[i].ServerPair = "hot" // everyone fights for one pair
+				case 1:
+					specs[i].ServerPair = fmt.Sprintf("pair-%d-%d", g, i)
+				}
+			}
+			jobs, err := s.SubmitBatch(specs)
+			if err != nil {
+				t.Errorf("SubmitBatch: %v", err)
+				return
+			}
+			for _, j := range jobs {
+				ids <- j.ID
+			}
+			// Singles interleave with batches.
+			for i := 0; i < perBatch; i++ {
+				j, err := s.Submit(Spec{Backend: "stub", Seed: int64(g*1000 + 500 + i),
+					ServerPair: "hot"})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				ids <- j.ID
+			}
+		}()
+	}
+	// Readers and cancelers race the submitters.
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				case id := <-ids:
+					if _, err := s.Get(id); err != nil {
+						t.Errorf("Get(%s): %v", id, err)
+					}
+					if id[len(id)-1]%7 == 0 {
+						s.Cancel(id) // races the claim path by design
+					}
+				default:
+					s.Metrics()
+					s.ListPage(0, 50)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(submitters * perBatch * 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := s.Metrics()
+		if m.Done+m.Failed+m.Canceled == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck: %+v (want %d terminal)", m, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stopReaders)
+	readers.Wait()
+	m := s.Metrics()
+	if m.Queued != 0 || m.Running != 0 || m.WaitRetry != 0 {
+		t.Errorf("gauges not drained: queued=%d running=%d waitRetry=%d",
+			m.Queued, m.Running, m.WaitRetry)
+	}
+}
+
+// TestPairExclusiveUnderBatch checks that pair exclusivity survives the
+// sharded claim path: jobs sharing a pair never overlap even when they
+// arrive in one batch and many workers race to claim them.
+func TestPairExclusiveUnderBatch(t *testing.T) {
+	b := newStubBackend()
+	var mu sync.Mutex
+	inFlight := map[string]int{}
+	maxInFlight := map[string]int{}
+	b.fail = func(seed int64, _ int) error { return nil }
+	base, _ := newTestScheduler(t, Options{Workers: 8, Shards: 4}, b)
+
+	// Wrap the stub so each run marks its pair busy for its duration.
+	pairBackend := backendFunc(func(ctx context.Context, spec Spec) (*Result, error) {
+		mu.Lock()
+		inFlight[spec.ServerPair]++
+		if inFlight[spec.ServerPair] > maxInFlight[spec.ServerPair] {
+			maxInFlight[spec.ServerPair] = inFlight[spec.ServerPair]
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		inFlight[spec.ServerPair]--
+		mu.Unlock()
+		return &Result{Backend: spec.Backend, Detail: "pair"}, nil
+	})
+	base.opts.Backends["pairstub"] = pairBackend
+
+	specs := make([]Spec, 24)
+	for i := range specs {
+		specs[i] = Spec{Backend: "pairstub", Seed: int64(i),
+			ServerPair: fmt.Sprintf("P%d", i%3)}
+	}
+	jobs, err := base.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		waitState(t, base, j.ID, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for pair, peak := range maxInFlight {
+		if peak > 1 {
+			t.Errorf("pair %s ran %d jobs concurrently, want 1", pair, peak)
+		}
+	}
+}
+
+type backendFunc func(ctx context.Context, spec Spec) (*Result, error)
+
+func (f backendFunc) Run(ctx context.Context, spec Spec) (*Result, error) { return f(ctx, spec) }
+
+// TestJobsPagination10k drives the /jobs cursor end to end at the
+// issue's scale: 10k jobs server-side, a capped page per request, and
+// the client lister stitching them back together in order.
+func TestJobsPagination10k(t *testing.T) {
+	b := newStubBackend()
+	s, err := NewScheduler(Options{
+		Workers:    1,
+		QueueLimit: 20000,
+		Clock:      clock.NewManual(time.Unix(1700000000, 0)),
+		Backends:   map[string]Backend{"stub": b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	// Not started: the backlog stays queued, keeping the test about
+	// listing, not execution.
+	const total = 10000
+	specs := make([]Spec, 1000)
+	for page := 0; page < total/len(specs); page++ {
+		for i := range specs {
+			specs[i] = stubSpec(int64(page*len(specs) + i))
+		}
+		if _, err := s.SubmitBatch(specs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	// One raw page honors the server cap.
+	page, err := c.JobsPage(ctx, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != listLimitMax {
+		t.Fatalf("first page = %d jobs, want the %d cap", len(page), listLimitMax)
+	}
+	// A cursor resumes where the page ended.
+	next, err := c.JobsPage(ctx, page[len(page)-1].ID, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != 10 || next[0].Seq != page[len(page)-1].Seq+1 {
+		t.Fatalf("cursor page starts at seq %d len %d, want seq %d len 10",
+			next[0].Seq, len(next), page[len(page)-1].Seq+1)
+	}
+
+	// The transparent lister reassembles the full set in order.
+	all, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("listed %d jobs, want %d", len(all), total)
+	}
+	for i, j := range all {
+		if j.Seq != uint64(i+1) {
+			t.Fatalf("job %d out of order: seq %d", i, j.Seq)
+		}
+	}
+}
+
+// TestBatchHTTPEndpoints round-trips the batch submit and status APIs
+// through the real handler and client.
+func TestBatchHTTPEndpoints(t *testing.T) {
+	b := newStubBackend()
+	s, _ := newTestScheduler(t, Options{Workers: 2}, b)
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	specs := []Spec{stubSpec(1), stubSpec(2), stubSpec(3)}
+	jobs, err := c.SubmitBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("batch returned %d jobs, want 3", len(jobs))
+	}
+	for _, j := range jobs {
+		waitState(t, s, j.ID, StateDone)
+	}
+
+	got, missing, err := c.StatusBatch(ctx, []string{jobs[0].ID, "j999999", jobs[2].ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != jobs[0].ID || got[1].ID != jobs[2].ID {
+		t.Fatalf("status batch jobs = %+v, want the two real IDs", got)
+	}
+	if len(missing) != 1 || missing[0] != "j999999" {
+		t.Fatalf("missing = %v, want [j999999]", missing)
+	}
+	for _, j := range got {
+		if j.State != StateDone {
+			t.Errorf("job %s = %s, want done", j.ID, j.State)
+		}
+	}
+
+	// An empty batch is a 400, not a panic or an empty 201.
+	if _, err := c.SubmitBatch(ctx, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BatchSubmits != 1 || m.BatchJobs != 3 {
+		t.Errorf("batch counters = %d/%d, want 1/3", m.BatchSubmits, m.BatchJobs)
+	}
+}

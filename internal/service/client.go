@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"github.com/nal-epfl/wehey/internal/clock"
@@ -89,10 +91,61 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
 	return job, err
 }
 
-// Jobs lists every job.
-func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+// SubmitBatch posts many specs in one round-trip (one journal group
+// commit server-side) and returns the admitted jobs. Admission is
+// all-or-nothing.
+func (c *Client) SubmitBatch(ctx context.Context, specs []Spec) ([]Job, error) {
 	var jobs []Job
-	err := c.do(ctx, http.MethodGet, "/jobs", nil, &jobs)
+	err := c.do(ctx, http.MethodPost, "/jobs:batch", &BatchRequest{Specs: specs}, &jobs)
+	return jobs, err
+}
+
+// StatusBatch snapshots many jobs by ID in one round-trip, returning the
+// jobs that exist and the IDs that do not.
+func (c *Client) StatusBatch(ctx context.Context, ids []string) ([]Job, []string, error) {
+	var resp BatchStatusResponse
+	err := c.do(ctx, http.MethodPost, "/jobs/status:batch", &BatchStatusRequest{IDs: ids}, &resp)
+	return resp.Jobs, resp.Missing, err
+}
+
+// Jobs lists every job, paging through the server's /jobs cursor so a
+// 10k-job campaign arrives in bounded requests rather than one unbounded
+// buffer. The full set is still materialized client-side; use JobsPage
+// directly to stream.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var all []Job
+	after := ""
+	for {
+		page, err := c.JobsPage(ctx, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+		if len(page) < jobsPageSize {
+			return all, nil
+		}
+		after = page[len(page)-1].ID
+	}
+}
+
+// jobsPageSize is the page the transparent lister asks for — the server's
+// maximum, to minimize round-trips.
+const jobsPageSize = listLimitMax
+
+// JobsPage fetches one page of jobs after the given cursor (a job ID or
+// sequence number; "" starts from the beginning). limit <= 0 asks for the
+// server's maximum page.
+func (c *Client) JobsPage(ctx context.Context, after string, limit int) ([]Job, error) {
+	if limit <= 0 {
+		limit = jobsPageSize
+	}
+	q := url.Values{}
+	q.Set("limit", strconv.Itoa(limit))
+	if after != "" {
+		q.Set("after", after)
+	}
+	var jobs []Job
+	err := c.do(ctx, http.MethodGet, "/jobs?"+q.Encode(), nil, &jobs)
 	return jobs, err
 }
 

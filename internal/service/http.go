@@ -12,15 +12,45 @@ import (
 
 // The admin plane is a plain net/http JSON API over the scheduler:
 //
-//	GET    /healthz      -> {"status":"ok"}
-//	POST   /jobs         -> submit a Spec, returns the Job snapshot (201)
-//	GET    /jobs         -> list every job in submission order
-//	GET    /jobs/{id}    -> one job
-//	DELETE /jobs/{id}    -> cancel (idempotent on terminal jobs)
-//	GET    /metrics      -> Metrics counter snapshot
-//	GET    /twin         -> M/G/c capacity prediction (see TwinAnswer)
+//	GET    /healthz           -> {"status":"ok"}
+//	POST   /jobs              -> submit a Spec, returns the Job snapshot (201)
+//	POST   /jobs:batch        -> submit many Specs in one round-trip (201)
+//	POST   /jobs/status:batch -> snapshot many jobs by ID in one round-trip
+//	GET    /jobs              -> list jobs in submission order, paged
+//	                             (?after=<id|seq>&limit=<n>, n capped at 1000)
+//	GET    /jobs/{id}         -> one job
+//	DELETE /jobs/{id}         -> cancel (idempotent on terminal jobs)
+//	GET    /metrics           -> Metrics counter snapshot
+//	GET    /twin              -> M/G/c capacity prediction (see TwinAnswer)
 //
 // Errors travel as {"error": "..."} with the mapped status code.
+//
+// A batch submission is all-or-nothing: every spec validates and the
+// whole batch rides one journal group commit, or nothing is admitted.
+// /jobs responses are plain arrays capped at the page limit; clients page
+// by passing the last seen job ID as `after` until a short page arrives.
+
+// listLimitMax caps one GET /jobs page. It doubles as the default, so a
+// bare GET /jobs on a huge campaign returns a bounded page instead of
+// buffering the full set.
+const listLimitMax = 1000
+
+// BatchRequest is the POST /jobs:batch body.
+type BatchRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// BatchStatusRequest is the POST /jobs/status:batch body.
+type BatchStatusRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// BatchStatusResponse answers a status batch: snapshots for the IDs that
+// exist, and the IDs that do not.
+type BatchStatusResponse struct {
+	Jobs    []Job    `json:"jobs"`
+	Missing []string `json:"missing,omitempty"`
+}
 
 // Handler returns the admin-plane handler for a scheduler.
 func Handler(s *Scheduler) http.Handler {
@@ -44,8 +74,51 @@ func Handler(s *Scheduler) http.Handler {
 		}
 		writeJSON(w, http.StatusCreated, job)
 	})
+	mux.HandleFunc("POST /jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Specs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("service: batch has no specs"))
+			return
+		}
+		jobs, err := s.SubmitBatch(req.Specs)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, jobs)
+	})
+	mux.HandleFunc("POST /jobs/status:batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchStatusRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs, missing := s.GetBatch(req.IDs)
+		writeJSON(w, http.StatusOK, BatchStatusResponse{Jobs: jobs, Missing: missing})
+	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.List())
+		q := r.URL.Query()
+		afterSeq, err := parseAfter(q.Get("after"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		limit := listLimitMax
+		if lv := q.Get("limit"); lv != "" {
+			limit, err = strconv.Atoi(lv)
+			if err != nil || limit < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: limit must be a positive integer, got %q", lv))
+				return
+			}
+			if limit > listLimitMax {
+				limit = listLimitMax
+			}
+		}
+		writeJSON(w, http.StatusOK, s.ListPage(afterSeq, limit))
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, err := s.Get(r.PathValue("id"))
@@ -178,6 +251,24 @@ func handleTwin(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		ans.MinWorkers = twin.MinServers(lambda, mean, scv, 0.95, target, 1024)
 	}
 	writeJSON(w, http.StatusOK, ans)
+}
+
+// parseAfter resolves the /jobs `after` cursor: empty (start), a job ID
+// like "j000042", or a bare sequence number. Both forms name the same
+// ordering because IDs are minted from sequence numbers.
+func parseAfter(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	digits := v
+	if digits[0] == 'j' {
+		digits = digits[1:]
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: after must be a job ID or sequence number, got %q", v)
+	}
+	return seq, nil
 }
 
 // statusFor maps scheduler errors onto HTTP statuses.

@@ -8,6 +8,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
 )
 
 // The journal is the scheduler's crash-safety layer: an append-only file
@@ -20,10 +25,25 @@ import (
 // a terminal record never runs again, a job without one runs again
 // exactly once.
 //
+// Durability is group-committed (DESIGN.md §15): Append and AppendBatch
+// enqueue records on an in-memory batch and block until a dedicated
+// committer goroutine has written *and fsynced* the batch they are part
+// of. N concurrent appends therefore cost one write+fsync instead of N,
+// while the exactly-once contract is unchanged — no caller is ever
+// acknowledged before its record is durable. The batch policy is
+// MaxBatch (cap on records per commit) and MaxDelay (how long the
+// committer dwells waiting for a batch to fill; 0 = commit immediately,
+// batching then emerges purely from fsync backpressure). All waiting
+// flows through an injected clock.Clock so tests run instantly.
+//
 // Recovery tolerates a torn tail (the process died mid-append): framing
 // stops at the first malformed record, the tail is dropped and counted,
 // and the file is compacted — rewritten through a temp file and an atomic
-// rename — so the next append lands on a clean end of file.
+// rename — so the next append lands on a clean end of file. A batch is a
+// durability unit, not a recovery-atomicity unit: records are framed
+// individually, so a tear inside a batch keeps the batch's earlier
+// records — safe, because no record of a torn batch was ever
+// acknowledged (the fsync never returned).
 
 // journalMagic identifies (and versions) the journal file format.
 const journalMagic = "WHYJRNL1"
@@ -62,15 +82,85 @@ type Recovery struct {
 	Rewritten bool
 }
 
-// Journal is an open, append-position-clean campaign journal.
-type Journal struct {
-	f    *os.File
-	path string
+// ErrJournalClosed is returned by Append/AppendBatch once Close has begun
+// and the record was not part of the final drained batch. A caller that
+// sees it knows its record is NOT durable.
+var ErrJournalClosed = errors.New("service: journal closed")
+
+// JournalOptions shapes the group-commit pipeline. The zero value of
+// every field means "use the default".
+type JournalOptions struct {
+	// MaxBatch caps the records fsynced per commit (default 256). Excess
+	// queued records wait for the next commit.
+	MaxBatch int
+	// MaxDelay is how long the committer dwells after the first record of
+	// an under-full batch arrives, waiting for the batch to fill, before
+	// committing anyway (default 0: commit immediately — lowest latency;
+	// batching still emerges because appends arriving during an fsync
+	// coalesce into the next one).
+	MaxDelay time.Duration
+	// Clock paces the MaxDelay dwell (default clock.System; tests inject
+	// clock.Manual so dwell policy tests are instant).
+	Clock clock.Clock
 }
 
-// OpenJournal opens (creating if missing) the journal at path, validates
-// every record, repairs a torn tail, and returns the surviving records.
+func (o JournalOptions) fill() JournalOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Clock == nil {
+		o.Clock = clock.System
+	}
+	return o
+}
+
+// jWaiter is one Append/AppendBatch call parked in the commit queue: its
+// records, and a buffered channel the committer resolves after the fsync
+// covering them returns.
+type jWaiter struct {
+	recs []record
+	done chan error
+}
+
+// JournalStats snapshots the commit pipeline counters (monotonic).
+type JournalStats struct {
+	// Commits counts write+fsync batches.
+	Commits int64
+	// Records counts records made durable across all commits; Records /
+	// Commits is the achieved group-commit factor.
+	Records int64
+}
+
+// Journal is an open, append-position-clean campaign journal with a
+// running group-commit pipeline.
+type Journal struct {
+	path string
+	opts JournalOptions
+
+	mu     sync.Mutex
+	f      *os.File
+	queue  []jWaiter
+	closed bool
+	ioErr  error // sticky: a failed write may leave a torn tail mid-file
+
+	kick    chan struct{} // capacity 1: work arrived
+	closing chan struct{} // Close begun: drain and exit
+	done    chan struct{} // committer exited
+
+	commits atomic.Int64
+	records atomic.Int64
+}
+
+// OpenJournal opens the journal at path with default group-commit
+// options. See OpenJournalOptions.
 func OpenJournal(path string) (*Journal, Recovery, error) {
+	return OpenJournalOptions(path, JournalOptions{})
+}
+
+// OpenJournalOptions opens (creating if missing) the journal at path,
+// validates every record, repairs a torn tail, starts the commit
+// pipeline, and returns the surviving records.
+func OpenJournalOptions(path string, opts JournalOptions) (*Journal, Recovery, error) {
 	var rec Recovery
 	raw, err := os.ReadFile(path)
 	switch {
@@ -129,7 +219,16 @@ func OpenJournal(path string) (*Journal, Recovery, error) {
 	if err != nil {
 		return nil, rec, fmt.Errorf("service: open journal for append: %w", err)
 	}
-	return &Journal{f: f, path: path}, rec, nil
+	j := &Journal{
+		path:    path,
+		opts:    opts.fill(),
+		f:       f,
+		kick:    make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go j.committer()
+	return j, rec, nil
 }
 
 // nextRecord parses one framed record, returning its payload and the rest.
@@ -194,22 +293,190 @@ func writeCompacted(path string, records []record) error {
 	return nil
 }
 
-// Append journals one record durably (fsync before returning): a crash
-// after Append never forgets the event, a crash during it leaves a torn
-// tail the next OpenJournal repairs.
+// Append journals one record durably: it blocks until the group commit
+// containing the record has fsynced. A nil return means the record is on
+// disk; a crash after Append never forgets the event, a crash during it
+// leaves a torn tail the next OpenJournal repairs.
 func (j *Journal) Append(r record) error {
-	payload, err := json.Marshal(&r)
-	if err != nil {
-		return fmt.Errorf("service: encode journal record: %w", err)
+	return j.AppendBatch([]record{r})
+}
+
+// AppendBatch journals a group of records durably under a single waiter:
+// all of them are covered by one commit (one fsync when they fit in
+// MaxBatch), and the call blocks until that commit returns. The batch is
+// a durability unit — on a nil return every record is on disk; on an
+// error none of them was acknowledged.
+func (j *Journal) AppendBatch(recs []record) error {
+	if len(recs) == 0 {
+		return nil
 	}
-	if _, err := j.f.Write(frameRecord(nil, payload)); err != nil {
-		return fmt.Errorf("service: append journal: %w", err)
+	w := jWaiter{recs: recs, done: make(chan error, 1)}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrJournalClosed
+	}
+	if err := j.ioErr; err != nil {
+		// A previous commit failed mid-write: the file may hold a torn
+		// record mid-stream, and anything appended after it would be
+		// unreachable at recovery. Refuse instead of acking into the void.
+		j.mu.Unlock()
+		return err
+	}
+	j.queue = append(j.queue, w)
+	j.mu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default: // committer already signaled
+	}
+	return <-w.done
+}
+
+// committer is the commit pipeline: it collects queued waiters into
+// batches of at most MaxBatch records, optionally dwells MaxDelay for an
+// under-full batch to fill, performs one write+fsync per batch, and then
+// releases every waiter the batch covered. On Close it drains the queue
+// — every record enqueued before Close is either committed-and-acked or
+// was rejected with ErrJournalClosed before enqueueing; an unsynced
+// record is never acknowledged.
+func (j *Journal) committer() {
+	defer close(j.done)
+	for {
+		j.mu.Lock()
+		for len(j.queue) == 0 {
+			closed := j.closed
+			j.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case <-j.kick:
+			case <-j.closing:
+			}
+			j.mu.Lock()
+		}
+		j.mu.Unlock()
+
+		j.dwell()
+		batch, nrec := j.takeBatch()
+		if len(batch) == 0 {
+			continue
+		}
+		err := j.commit(batch, nrec)
+		for _, w := range batch {
+			w.done <- err
+		}
+	}
+}
+
+// dwell waits up to MaxDelay for the pending batch to reach MaxBatch
+// records, returning early on close or when the batch fills. With
+// MaxDelay == 0 it returns immediately.
+func (j *Journal) dwell() {
+	if j.opts.MaxDelay <= 0 {
+		return
+	}
+	t := j.opts.Clock.NewTimer(j.opts.MaxDelay)
+	defer t.Stop()
+	for {
+		j.mu.Lock()
+		full := j.queuedRecordsLocked() >= j.opts.MaxBatch || j.closed
+		j.mu.Unlock()
+		if full {
+			return
+		}
+		select {
+		case <-t.C():
+			return
+		case <-j.closing:
+			return
+		case <-j.kick:
+			// More records arrived; re-check fullness.
+		}
+	}
+}
+
+func (j *Journal) queuedRecordsLocked() int {
+	n := 0
+	for _, w := range j.queue {
+		n += len(w.recs)
+	}
+	return n
+}
+
+// takeBatch removes up to MaxBatch records' worth of waiters from the
+// queue. A single oversized waiter (AppendBatch larger than MaxBatch) is
+// taken alone rather than split: its durability unit is preserved.
+func (j *Journal) takeBatch() (batch []jWaiter, nrec int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := 0
+	for ; i < len(j.queue); i++ {
+		n := len(j.queue[i].recs)
+		if i > 0 && nrec+n > j.opts.MaxBatch {
+			break
+		}
+		nrec += n
+	}
+	batch = j.queue[:i:i]
+	j.queue = j.queue[i:]
+	return batch, nrec
+}
+
+// commit writes one framed batch and fsyncs it. An error is sticky: a
+// failed write can leave a torn record mid-file, after which further
+// appends would be unrecoverable, so the journal refuses them.
+func (j *Journal) commit(batch []jWaiter, nrec int) error {
+	buf := make([]byte, 0, nrec*(recordHeaderSize+128))
+	for _, w := range batch {
+		for i := range w.recs {
+			payload, err := json.Marshal(&w.recs[i])
+			if err != nil {
+				return j.fail(fmt.Errorf("service: encode journal record: %w", err))
+			}
+			buf = frameRecord(buf, payload)
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return j.fail(fmt.Errorf("service: append journal: %w", err))
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("service: sync journal: %w", err)
+		return j.fail(fmt.Errorf("service: sync journal: %w", err))
 	}
+	j.commits.Add(1)
+	j.records.Add(int64(nrec))
 	return nil
 }
 
-// Close releases the file handle.
-func (j *Journal) Close() error { return j.f.Close() }
+// fail records a sticky commit error.
+func (j *Journal) fail(err error) error {
+	j.mu.Lock()
+	if j.ioErr == nil {
+		j.ioErr = err
+	}
+	j.mu.Unlock()
+	return err
+}
+
+// Stats snapshots the commit pipeline counters.
+func (j *Journal) Stats() JournalStats {
+	return JournalStats{Commits: j.commits.Load(), Records: j.records.Load()}
+}
+
+// Close drains the commit pipeline and releases the file handle. Appends
+// enqueued before Close are committed and acknowledged; appends arriving
+// after return ErrJournalClosed. Close never acknowledges an unsynced
+// record, so it cannot lose data.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.closing)
+	<-j.done
+	return j.f.Close()
+}

@@ -1,10 +1,38 @@
 package service
 
-import "time"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// atomicFloat64 is a float64 accumulator over an atomic bit pattern,
+// giving the metrics path lock-free float adds (CAS loop) and reads.
+type atomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates delta with a compare-and-swap loop.
+func (f *atomicFloat64) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (f *atomicFloat64) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
 
 // Metrics is the expvar-style counter snapshot served at /metrics. All
 // counts are cumulative for the scheduler's lifetime except the gauges
-// (Queued, Running, WaitRetry).
+// (Queued, Running, WaitRetry). The snapshot is assembled entirely from
+// atomics — reading /metrics never takes a scheduler lock, so probing a
+// loaded server does not perturb it.
 type Metrics struct {
 	// Gauges: current queue/pool occupancy.
 	Queued    int `json:"queued"`
@@ -20,6 +48,11 @@ type Metrics struct {
 	Rejected  int64 `json:"rejected"`
 	Resumed   int64 `json:"resumed"`
 
+	// Batch-submission counters: batches accepted via SubmitBatch with
+	// more than one spec, and the jobs they carried.
+	BatchSubmits int64 `json:"batch_submits"`
+	BatchJobs    int64 `json:"batch_jobs"`
+
 	// QueueLatencyMean is the mean queued→running wait over every attempt
 	// started so far (scheduler-clock time).
 	QueueLatencyMean time.Duration `json:"queue_latency_mean_ns"`
@@ -31,8 +64,12 @@ type Metrics struct {
 	ServiceTimeMeanS float64 `json:"service_time_mean_s,omitempty"`
 	ServiceTimeEx2S2 float64 `json:"service_time_ex2_s2,omitempty"`
 
-	// Journal health.
+	// Journal health. JournalAppends counts records durably acknowledged;
+	// JournalBatchCommits counts fsyncs. Their ratio is the group-commit
+	// amortization factor (1.0 = no batching benefit).
 	JournalAppends      int64 `json:"journal_appends"`
+	JournalBatchCommits int64 `json:"journal_batch_commits"`
+	JournalBatchRecords int64 `json:"journal_batch_records"`
 	JournalDroppedBytes int   `json:"journal_dropped_bytes"`
 	JournalDupTerminals int64 `json:"journal_dup_terminals"`
 
@@ -49,52 +86,54 @@ type Metrics struct {
 // coefficient of variation (clamped at 0 against float cancellation).
 // These parameterize twin.MGc for live capacity answers.
 func (s *Scheduler) ServiceMoments() (count int64, mean, scv float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.c.svcCount == 0 {
+	count = s.c.svcCount.Load()
+	if count == 0 {
 		return 0, 0, 0
 	}
-	mean = s.c.svcTotalSec / float64(s.c.svcCount)
-	ex2 := s.c.svcTotalSqSec / float64(s.c.svcCount)
+	mean = s.c.svcTotalSec.Load() / float64(count)
+	ex2 := s.c.svcTotalSqSec.Load() / float64(count)
 	if mean > 0 {
 		scv = ex2/(mean*mean) - 1
 		if scv < 0 {
 			scv = 0
 		}
 	}
-	return s.c.svcCount, mean, scv
+	return count, mean, scv
 }
 
 // Metrics snapshots the scheduler counters.
 func (s *Scheduler) Metrics() Metrics {
-	s.mu.Lock()
 	m := Metrics{
-		Queued:              s.pending.Len(),
-		Running:             s.c.running,
-		WaitRetry:           s.c.waitRetry,
-		Submitted:           s.c.submitted,
-		Done:                s.c.done,
-		Failed:              s.c.failed,
-		Canceled:            s.c.canceled,
-		Retried:             s.c.retried,
-		Rejected:            s.c.rejected,
-		Resumed:             s.c.resumed,
-		JournalAppends:      s.c.journalAppends,
-		JournalDroppedBytes: s.c.journalDroppedBytes,
-		JournalDupTerminals: s.c.journalDupTerminals,
+		Queued:              int(s.queued.Load()),
+		Running:             int(s.c.running.Load()),
+		WaitRetry:           int(s.c.waitRetry.Load()),
+		Submitted:           s.c.submitted.Load(),
+		Done:                s.c.done.Load(),
+		Failed:              s.c.failed.Load(),
+		Canceled:            s.c.canceled.Load(),
+		Retried:             s.c.retried.Load(),
+		Rejected:            s.c.rejected.Load(),
+		Resumed:             s.c.resumed.Load(),
+		BatchSubmits:        s.c.batchSubmits.Load(),
+		BatchJobs:           s.c.batchJobs.Load(),
+		JournalAppends:      s.c.journalAppends.Load(),
+		JournalDroppedBytes: int(s.c.journalDroppedBytes.Load()),
+		JournalDupTerminals: s.c.journalDupTerminals.Load(),
 	}
-	if s.c.latencyCount > 0 {
-		m.QueueLatencyMean = s.c.latencyTotal / time.Duration(s.c.latencyCount)
+	if n := s.c.latencyCount.Load(); n > 0 {
+		m.QueueLatencyMean = time.Duration(s.c.latencyTotalNs.Load() / n)
 	}
-	m.ServiceTimeCount = s.c.svcCount
-	if s.c.svcCount > 0 {
-		m.ServiceTimeMeanS = s.c.svcTotalSec / float64(s.c.svcCount)
-		m.ServiceTimeEx2S2 = s.c.svcTotalSqSec / float64(s.c.svcCount)
+	m.ServiceTimeCount = s.c.svcCount.Load()
+	if m.ServiceTimeCount > 0 {
+		m.ServiceTimeMeanS = s.c.svcTotalSec.Load() / float64(m.ServiceTimeCount)
+		m.ServiceTimeEx2S2 = s.c.svcTotalSqSec.Load() / float64(m.ServiceTimeCount)
 	}
-	sim := s.opts.Backends[BackendSim]
-	s.mu.Unlock()
-
-	if sb, ok := sim.(*SimBackend); ok {
+	if s.journal != nil {
+		js := s.journal.Stats()
+		m.JournalBatchCommits = js.Commits
+		m.JournalBatchRecords = js.Records
+	}
+	if sb, ok := s.opts.Backends[BackendSim].(*SimBackend); ok {
 		st := sb.CacheStats()
 		m.SimCacheHits = st.Hits
 		m.SimCacheDiskHits = st.DiskHits

@@ -3,10 +3,12 @@ package service
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/nal-epfl/wehey/internal/clock"
@@ -19,22 +21,35 @@ type Options struct {
 	Workers int
 	// QueueLimit is the admission-control bound on queued (not running)
 	// jobs; submissions beyond it are rejected with ErrQueueFull
-	// (default 256).
+	// (default 256). A batch is admitted all-or-nothing.
 	QueueLimit int
+	// Shards sizes the scheduler's shard map (default 16). Jobs hash to a
+	// shard by server pair (jobs without a pair hash by ID), so all state
+	// for one pair — its exclusivity token and its queued jobs — lives
+	// under one shard mutex, and Submit/Complete on different pairs never
+	// contend.
+	Shards int
 	// DefaultDeadline bounds one attempt when the spec does not
 	// (default 5 minutes).
 	DefaultDeadline time.Duration
 	// Retry shapes the backoff schedule (zero value = defaults).
 	Retry RetryPolicy
 	// Clock supplies all time: timestamps, queue-latency accounting,
-	// deadlines, and backoff timers (default clock.System; tests inject
-	// clock.Manual).
+	// deadlines, backoff timers, and the journal commit pipeline's dwell
+	// (default clock.System; tests inject clock.Manual).
 	Clock clock.Clock
 	// JournalPath persists the campaign journal ("" = volatile: a
 	// restart forgets everything).
 	JournalPath string
+	// JournalMaxBatch caps the records per journal group commit
+	// (default 256).
+	JournalMaxBatch int
+	// JournalMaxDelay is how long the journal committer dwells for an
+	// under-full batch to fill before fsyncing anyway (default 0: commit
+	// immediately; batching emerges from fsync backpressure).
+	JournalMaxDelay time.Duration
 	// Backends maps spec backend names to executors. Nil installs the
-	// stock registry (sim with an in-memory cache, testbed).
+	// stock registry (sim with an in-memory cache, testbed, null).
 	Backends map[string]Backend
 }
 
@@ -44,6 +59,9 @@ func (o Options) fill() Options {
 	}
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = 256
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
 	}
 	if o.DefaultDeadline <= 0 {
 		o.DefaultDeadline = 5 * time.Minute
@@ -56,56 +74,78 @@ func (o Options) fill() Options {
 		o.Backends = map[string]Backend{
 			BackendSim:     NewSimBackend(nil),
 			BackendTestbed: &TestbedBackend{},
+			BackendNull:    NullBackend{},
 		}
 	}
 	return o
 }
 
 // job is the scheduler's mutable view of one Job. All fields are guarded
-// by the scheduler mutex except those written only before publication.
+// by the owning shard's mutex except those written only before
+// publication (rng, shard, and the identity fields of Job).
 type job struct {
 	Job
 
-	rng        *rand.Rand // seeded per job: retry jitter
+	shard      *shard     // home shard: fixed at creation by pair (or ID)
+	rng        *rand.Rand // retry jitter; seeded lazily on first retry (jitterRNG)
 	enqueuedAt time.Time  // last transition into the queue (latency base)
-	heapIdx    int        // position in the pending heap; -1 = not queued
+	heapIdx    int        // position in the shard's pending heap; -1 = not queued
+	claiming   bool       // popped by a worker's claim scan, not yet running
 	cancel     context.CancelFunc
 	userCancel bool // operator asked; running attempt winds down
 	retryTimer clock.Timer
 	runs       int // completed executions (test observability)
 }
 
-// Scheduler owns the campaign state machine: admission, the priority
-// queue, server-pair tokens, the worker pool, retries, and the journal.
+// shard is one slice of the scheduler's hot state: the pending queue and
+// the pair-exclusivity tokens for every server pair hashing here. The
+// pair → shard mapping means two jobs that could ever exclude each other
+// always share a shard, so exclusivity needs no cross-shard locking —
+// the intra-process rehearsal of the ROADMAP's consistent-hash-by-pair
+// fleet design.
+type shard struct {
+	mu      sync.Mutex
+	pending jobHeap
+	tokens  map[string]string // server pair -> job ID holding or reserving it
+
+	_ [64]byte // pad shards apart: neighboring locks must not share a cache line
+}
+
+// Scheduler owns the campaign state machine: admission, the sharded
+// priority queues, server-pair tokens, the worker pool, retries, and the
+// group-commit journal.
 type Scheduler struct {
 	opts    Options
 	clk     clock.Clock
 	journal *Journal
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*job
-	pending jobHeap
-	tokens  map[string]string // server pair -> job ID holding it
-	nextSeq uint64
-	closed  bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	shards []shard
+	jobs   sync.Map // job ID -> *job (read-mostly index; state under shard locks)
+
+	nextSeq atomic.Uint64 // last assigned submission sequence number
+	queued  atomic.Int64  // jobs sitting in pending heaps (admission gauge)
+	rr      atomic.Uint32 // rotates the claim scan's starting shard
+
+	closed    atomic.Bool
+	stop      chan struct{}
+	closeDone chan struct{} // closed once the drain completes
+	ready     chan struct{} // worker wakeups; capacity covers every queued job
+	wg        sync.WaitGroup
 
 	c counters
 }
 
-// counters backs Metrics; everything is guarded by Scheduler.mu.
+// counters backs Metrics. Everything is atomic so the metrics read path
+// takes no locks — /metrics under load never contends with Submit.
 type counters struct {
-	submitted, done, failed, canceled, retried, rejected int64
-	running                                              int
-	waitRetry                                            int
-	latencyTotal                                         time.Duration
-	latencyCount                                         int64
-	journalAppends                                       int64
-	journalDroppedBytes                                  int
-	journalDupTerminals                                  int64
-	resumed                                              int64
+	submitted, done, failed, canceled, retried, rejected atomic.Int64
+	resumed                                              atomic.Int64
+	batchSubmits, batchJobs                              atomic.Int64
+	running, waitRetry                                   atomic.Int64
+	latencyTotalNs, latencyCount                         atomic.Int64
+	journalAppends                                       atomic.Int64
+	journalDroppedBytes                                  atomic.Int64
+	journalDupTerminals                                  atomic.Int64
 
 	// Service-time moment accumulators over successful attempts
 	// (started→done on the scheduler clock). They feed the M/G/c capacity
@@ -113,8 +153,8 @@ type counters struct {
 	// and squared coefficient of variation. Canceled and interrupted
 	// attempts are excluded — their durations measure the operator, not
 	// the backend.
-	svcCount                   int64
-	svcTotalSec, svcTotalSqSec float64
+	svcCount                   atomic.Int64
+	svcTotalSec, svcTotalSqSec atomicFloat64
 }
 
 // NewScheduler builds a scheduler, replaying the journal if one is
@@ -123,30 +163,62 @@ type counters struct {
 func NewScheduler(opts Options) (*Scheduler, error) {
 	opts = opts.fill()
 	s := &Scheduler{
-		opts:   opts,
-		clk:    opts.Clock,
-		jobs:   make(map[string]*job),
-		tokens: make(map[string]string),
-		stop:   make(chan struct{}),
+		opts:      opts,
+		clk:       opts.Clock,
+		shards:    make([]shard, opts.Shards),
+		stop:      make(chan struct{}),
+		closeDone: make(chan struct{}),
+		// One wakeup slot per admissible job plus one per worker: sends
+		// are non-blocking, and a full channel already guarantees enough
+		// pending scans to find every runnable job.
+		ready: make(chan struct{}, opts.QueueLimit+opts.Workers),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.nextSeq = 1
+	for i := range s.shards {
+		s.shards[i].tokens = make(map[string]string)
+	}
 	if opts.JournalPath != "" {
-		jr, rec, err := OpenJournal(opts.JournalPath)
+		jr, rec, err := OpenJournalOptions(opts.JournalPath, JournalOptions{
+			MaxBatch: opts.JournalMaxBatch,
+			MaxDelay: opts.JournalMaxDelay,
+			Clock:    opts.Clock,
+		})
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jr
-		s.c.journalDroppedBytes = rec.DroppedBytes
+		s.c.journalDroppedBytes.Store(int64(rec.DroppedBytes))
 		s.replay(rec.Records)
 	}
 	return s, nil
+}
+
+// shardFor maps a job to its home shard: by server pair when it has one
+// (all contenders for a pair must share a shard), by ID otherwise (no
+// exclusivity constraint — any stable spread works).
+func (s *Scheduler) shardFor(pair, id string) *shard {
+	key := pair
+	if key == "" {
+		key = id
+	}
+	// Inline FNV-1a: no allocation on the submit hot path.
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &s.shards[h%uint32(len(s.shards))]
 }
 
 // replay rebuilds job state from journal records (no locking needed: the
 // scheduler is not yet published).
 func (s *Scheduler) replay(records []record) {
 	now := s.clk.Now()
+	byID := make(map[string]*job)
+	var maxSeq uint64
 	for _, r := range records {
 		switch r.Op {
 		case recSubmit:
@@ -155,19 +227,20 @@ func (s *Scheduler) replay(records []record) {
 			}
 			j := s.newJob(r.ID, r.Seq, *r.Spec, now)
 			j.Resumed = true
-			s.jobs[r.ID] = j
-			if r.Seq >= s.nextSeq {
-				s.nextSeq = r.Seq + 1
+			byID[r.ID] = j
+			s.jobs.Store(r.ID, j)
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
 			}
 		case recDone, recFail, recCancel:
-			j, ok := s.jobs[r.ID]
+			j, ok := byID[r.ID]
 			if !ok {
 				continue
 			}
 			if j.State.Terminal() {
 				// Duplicate completion (crash between the journal append
 				// and whatever followed): first record wins.
-				s.c.journalDupTerminals++
+				s.c.journalDupTerminals.Add(1)
 				continue
 			}
 			j.FinishedAt = now
@@ -175,32 +248,34 @@ func (s *Scheduler) replay(records []record) {
 			case recDone:
 				j.State = StateDone
 				j.Result = r.Result
-				s.c.done++
+				s.c.done.Add(1)
 			case recFail:
 				j.State = StateFailed
 				j.Error = r.Error
-				s.c.failed++
+				s.c.failed.Add(1)
 			case recCancel:
 				j.State = StateCanceled
-				s.c.canceled++
+				s.c.canceled.Add(1)
 			}
 		}
 	}
+	s.nextSeq.Store(maxSeq)
 	// Re-queue the incomplete remainder in submission order.
-	ids := make([]string, 0, len(s.jobs))
-	for id := range s.jobs {
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, k int) bool { return s.jobs[ids[i]].Seq < s.jobs[ids[k]].Seq })
+	sort.Slice(ids, func(i, k int) bool { return byID[ids[i]].Seq < byID[ids[k]].Seq })
 	for _, id := range ids {
-		j := s.jobs[id]
+		j := byID[id]
 		if j.State.Terminal() {
 			continue
 		}
 		j.State = StateQueued
-		heap.Push(&s.pending, j)
-		s.c.submitted++
-		s.c.resumed++
+		heap.Push(&j.shard.pending, j)
+		s.queued.Add(1)
+		s.c.submitted.Add(1)
+		s.c.resumed.Add(1)
 	}
 }
 
@@ -214,106 +289,237 @@ func (s *Scheduler) newJob(id string, seq uint64, spec Spec, now time.Time) *job
 			State:       StateQueued,
 			SubmittedAt: now,
 		},
-		rng:        rand.New(rand.NewSource(jobSeed(id, spec.Seed))),
+		shard:      s.shardFor(spec.ServerPair, id),
 		enqueuedAt: now,
 		heapIdx:    -1,
 	}
 }
 
-// Start launches the worker pool.
+// jitterRNG returns the job's seeded jitter generator, creating it on
+// first use. Seeding a rand source is ~70% of an eager newJob's cost and
+// only retrying jobs ever draw from it, so the happy path skips it
+// entirely; laziness is invisible to determinism because the first draw
+// still comes from the same seeded stream. Callers hold the shard lock.
+func (j *job) jitterRNG() *rand.Rand {
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(jobSeed(j.ID, j.Spec.Seed)))
+	}
+	return j.rng
+}
+
+// Start launches the worker pool and wakes it for any journal-resumed
+// backlog.
 func (s *Scheduler) Start() {
-	s.mu.Lock()
-	workers := s.opts.Workers
-	s.mu.Unlock()
-	for i := 0; i < workers; i++ {
+	for i := 0; i < s.opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	for n := s.queued.Load(); n > 0; n-- {
+		s.signalReady()
+	}
+}
+
+// signalReady posts one worker wakeup; dropping when the channel is full
+// is safe because a full channel already holds more pending scans than
+// there can be queued jobs.
+func (s *Scheduler) signalReady() {
+	select {
+	case s.ready <- struct{}{}:
+	default:
 	}
 }
 
 // Close stops admission, cancels running attempts, waits for the pool to
-// drain, and closes the journal. Interrupted jobs stay non-terminal in
-// the journal, so the next process resumes them.
+// drain, and closes the journal — which drains the commit pipeline, so
+// every in-flight append is either fsynced-and-acknowledged or rejected
+// with ErrClosed, never acknowledged unsynced. Interrupted jobs stay
+// non-terminal in the journal, so the next process resumes them.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
+		// Another Close owns the drain; wait for it so every caller's
+		// return means "fully stopped".
+		<-s.closeDone
 		return
 	}
-	s.closed = true
 	close(s.stop)
-	for _, j := range s.jobs {
+	s.jobs.Range(func(_, v any) bool {
+		j := v.(*job)
+		sh := j.shard
+		sh.mu.Lock()
 		if j.cancel != nil {
 			j.cancel()
 		}
 		if j.retryTimer != nil {
 			j.retryTimer.Stop()
 		}
-	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
+		sh.mu.Unlock()
+		return true
+	})
 	s.wg.Wait()
 	if s.journal != nil {
-		s.journal.Close() // every record was fsynced at append time; close cannot lose data
+		s.journal.Close()
 	}
+	close(s.closeDone)
 }
 
-// Submit admits one job, journals it, and queues it.
+// Submit admits one job, journals it durably, and queues it.
 func (s *Scheduler) Submit(spec Spec) (Job, error) {
-	if err := spec.Validate(); err != nil {
+	jobs, err := s.SubmitBatch([]Spec{spec})
+	if err != nil {
 		return Job{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Job{}, ErrClosed
+	return jobs[0], nil
+}
+
+// SubmitBatch admits a group of jobs as one unit: every spec is
+// validated up front, queue capacity is reserved for all of them, their
+// submit records ride one journal group commit (one fsync for the whole
+// batch), and only then are they published to the shards. Admission is
+// all-or-nothing — on any error no job of the batch was admitted.
+func (s *Scheduler) SubmitBatch(specs []Spec) ([]Job, error) {
+	if len(specs) == 0 {
+		return nil, nil
 	}
-	if _, ok := s.opts.Backends[spec.Backend]; !ok {
-		return Job{}, fmt.Errorf("service: unknown backend %q", spec.Backend)
-	}
-	if s.pending.Len() >= s.opts.QueueLimit {
-		s.c.rejected++
-		return Job{}, ErrQueueFull
-	}
-	seq := s.nextSeq
-	s.nextSeq++
-	id := fmt.Sprintf("j%06d", seq)
-	j := s.newJob(id, seq, spec, s.clk.Now())
-	if s.journal != nil {
-		//lint:ignore lockheld journal append is deliberately under s.mu so durable record order matches admission order
-		if err := s.journal.Append(record{Op: recSubmit, ID: id, Seq: seq, Spec: &spec}); err != nil {
-			s.nextSeq = seq // not admitted: the ID was never durable
-			return Job{}, err
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, batchErr(i, len(specs), err)
 		}
-		s.c.journalAppends++
+		if _, ok := s.opts.Backends[specs[i].Backend]; !ok {
+			return nil, batchErr(i, len(specs), fmt.Errorf("service: unknown backend %q", specs[i].Backend))
+		}
 	}
-	s.jobs[id] = j
-	heap.Push(&s.pending, j)
-	s.c.submitted++
-	s.cond.Signal()
-	return j.snapshot(), nil
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Reserve queue slots for the whole batch atomically.
+	n := int64(len(specs))
+	for {
+		cur := s.queued.Load()
+		if cur+n > int64(s.opts.QueueLimit) {
+			s.c.rejected.Add(n)
+			return nil, ErrQueueFull
+		}
+		if s.queued.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+
+	base := s.nextSeq.Add(uint64(n))
+	now := s.clk.Now()
+	js := make([]*job, len(specs))
+	recs := make([]record, len(specs))
+	for i := range specs {
+		seq := base - uint64(n) + uint64(i) + 1
+		id := fmt.Sprintf("j%06d", seq)
+		js[i] = s.newJob(id, seq, specs[i], now)
+		recs[i] = record{Op: recSubmit, ID: id, Seq: seq, Spec: &specs[i]}
+	}
+	if s.journal != nil {
+		// Durability gate: nothing is published, and nothing is
+		// acknowledged to the caller, until the batch's fsync returns.
+		if err := s.journal.AppendBatch(recs); err != nil {
+			s.queued.Add(-n)
+			if errors.Is(err, ErrJournalClosed) {
+				err = ErrClosed
+			}
+			return nil, err
+		}
+		s.c.journalAppends.Add(n)
+	}
+
+	out := make([]Job, len(js))
+	for i, j := range js {
+		out[i] = j.Job // snapshot before publication: workers may claim immediately
+		s.jobs.Store(j.ID, j)
+		sh := j.shard
+		sh.mu.Lock()
+		heap.Push(&sh.pending, j)
+		sh.mu.Unlock()
+	}
+	s.c.submitted.Add(n)
+	if len(specs) > 1 {
+		s.c.batchSubmits.Add(1)
+		s.c.batchJobs.Add(n)
+	}
+	for range js {
+		s.signalReady()
+	}
+	return out, nil
+}
+
+// batchErr labels a per-spec error with its batch index (single-spec
+// submissions keep the bare error).
+func batchErr(i, n int, err error) error {
+	if n == 1 {
+		return err
+	}
+	return fmt.Errorf("service: batch spec %d: %w", i, err)
 }
 
 // Get returns a snapshot of one job.
 func (s *Scheduler) Get(id string) (Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	v, ok := s.jobs.Load(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
-	return j.snapshot(), nil
+	j := v.(*job)
+	sh := j.shard
+	sh.mu.Lock()
+	snap := j.Job
+	sh.mu.Unlock()
+	return snap, nil
 }
 
-// List returns snapshots of every known job in submission order.
-func (s *Scheduler) List() []Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, j.snapshot())
+// GetBatch returns snapshots for the requested IDs (in input order,
+// minus unknowns) plus the list of IDs that do not exist.
+func (s *Scheduler) GetBatch(ids []string) (jobs []Job, missing []string) {
+	jobs = make([]Job, 0, len(ids))
+	for _, id := range ids {
+		j, err := s.Get(id)
+		if err != nil {
+			missing = append(missing, id)
+			continue
+		}
+		jobs = append(jobs, j)
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return jobs, missing
+}
+
+// List returns snapshots of every known job in submission order. For
+// large campaigns prefer ListPage, which the admin plane serves with a
+// cursor instead of buffering the full set.
+func (s *Scheduler) List() []Job {
+	return s.ListPage(0, 0)
+}
+
+// ListPage returns up to limit jobs with Seq > afterSeq, in submission
+// order (limit <= 0 = no cap). The (afterSeq, limit) pair implements the
+// admin plane's `/jobs?after=` cursor: pages are stable under concurrent
+// submission because Seq is assigned monotonically.
+func (s *Scheduler) ListPage(afterSeq uint64, limit int) []Job {
+	type ent struct {
+		seq uint64
+		j   *job
+	}
+	ents := make([]ent, 0, 64)
+	s.jobs.Range(func(_, v any) bool {
+		j := v.(*job)
+		if j.Seq > afterSeq { // Seq is immutable after creation
+			ents = append(ents, ent{j.Seq, j})
+		}
+		return true
+	})
+	sort.Slice(ents, func(i, k int) bool { return ents[i].seq < ents[k].seq })
+	if limit > 0 && len(ents) > limit {
+		ents = ents[:limit]
+	}
+	out := make([]Job, len(ents))
+	for i, e := range ents {
+		sh := e.j.shard
+		sh.mu.Lock()
+		out[i] = e.j.Job
+		sh.mu.Unlock()
+	}
 	return out
 }
 
@@ -321,87 +527,121 @@ func (s *Scheduler) List() []Job {
 // canceling the attempt's context when running. Canceling a terminal job
 // is a no-op.
 func (s *Scheduler) Cancel(id string) (Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	v, ok := s.jobs.Load(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
+	j := v.(*job)
+	sh := j.shard
+	var rec record
+	var terminal bool
+	sh.mu.Lock()
 	switch j.State {
 	case StateQueued:
-		if j.heapIdx >= 0 {
-			heap.Remove(&s.pending, j.heapIdx)
+		if j.claiming {
+			// A worker holds this job between its claim scan and the
+			// running transition; flag it and let the worker's next
+			// lock acquisition turn it into a cancel.
+			j.userCancel = true
+			break
 		}
-		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
-		s.finishLocked(j, StateCanceled, nil, "")
+		if j.heapIdx >= 0 {
+			heap.Remove(&sh.pending, j.heapIdx)
+			s.queued.Add(-1)
+		}
+		rec = s.finishLocked(j, StateCanceled, nil, "")
+		terminal = true
 	case StateWaitRetry:
 		if j.retryTimer != nil {
 			j.retryTimer.Stop()
 			j.retryTimer = nil
 		}
-		s.c.waitRetry--
-		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
-		s.finishLocked(j, StateCanceled, nil, "")
+		s.c.waitRetry.Add(-1)
+		rec = s.finishLocked(j, StateCanceled, nil, "")
+		terminal = true
 	case StateRunning:
 		j.userCancel = true
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
-	return j.snapshot(), nil
+	snap := j.Job
+	sh.mu.Unlock()
+	if terminal {
+		s.journalTerminal(rec)
+	}
+	return snap, nil
 }
 
-// snapshot copies the externally visible state. Callers hold s.mu.
-func (j *job) snapshot() Job { return j.Job }
-
-// worker is one pool goroutine: claim a runnable job, execute, repeat.
+// worker is one pool goroutine: wait for a wakeup, then greedily claim
+// and execute runnable jobs until a full scan comes up empty.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		var j *job
-		for {
-			if s.closed {
-				s.mu.Unlock()
-				return
-			}
-			if j = s.popRunnableLocked(); j != nil {
+		select {
+		case <-s.stop:
+			return
+		case <-s.ready:
+		}
+		for !s.closed.Load() {
+			j := s.claim()
+			if j == nil {
 				break
 			}
-			s.cond.Wait()
+			s.run(j)
 		}
-		// Claim: token, state, latency accounting, attempt context.
-		if pair := j.Spec.ServerPair; pair != "" {
-			s.tokens[pair] = j.ID
-		}
-		j.State = StateRunning
-		j.Attempts++
-		j.StartedAt = s.clk.Now()
-		s.c.latencyTotal += j.StartedAt.Sub(j.enqueuedAt)
-		s.c.latencyCount++
-		s.c.running++
-		ctx, cancel := context.WithCancel(context.Background())
-		j.cancel = cancel
-		backend := s.opts.Backends[j.Spec.Backend]
-		deadline := j.Spec.Deadline
-		if deadline <= 0 {
-			deadline = s.opts.DefaultDeadline
-		}
-		s.mu.Unlock()
-
-		s.execute(j, ctx, cancel, backend, deadline)
 	}
 }
 
-// popRunnableLocked pops the best-priority job whose server pair (if any)
-// is free, skipping over blocked ones.
-func (s *Scheduler) popRunnableLocked() *job {
+// claim selects the globally best-priority runnable job. It scans every
+// shard (rotating the start to spread contention), takes each shard's
+// best runnable candidate with its pair token reserved, and keeps the
+// global winner; losers go back with their reservation released. The
+// reservation is what keeps pair exclusivity airtight across concurrent
+// scans: a candidate's pair is held from the moment it leaves its heap.
+func (s *Scheduler) claim() *job {
+	n := len(s.shards)
+	start := int(s.rr.Add(1)) % n
+	var best *job
+	for i := 0; i < n; i++ {
+		c := s.takeRunnable(&s.shards[(start+i)%n])
+		if c == nil {
+			continue
+		}
+		if best == nil {
+			best = c
+			continue
+		}
+		if jobLess(c, best) {
+			s.unreserve(best)
+			best = c
+		} else {
+			s.unreserve(c)
+		}
+	}
+	return best
+}
+
+// jobLess orders jobs like the pending heap: higher priority first,
+// submission order within a priority.
+func jobLess(a, b *job) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.Seq < b.Seq
+}
+
+// takeRunnable pops the best-priority runnable job of one shard —
+// skipping over pair-blocked ones — and reserves its pair token.
+func (s *Scheduler) takeRunnable(sh *shard) *job {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var skipped []*job
 	var picked *job
-	for s.pending.Len() > 0 {
-		j := heap.Pop(&s.pending).(*job)
+	for sh.pending.Len() > 0 {
+		j := heap.Pop(&sh.pending).(*job)
 		if pair := j.Spec.ServerPair; pair != "" {
-			if _, busy := s.tokens[pair]; busy {
+			if _, busy := sh.tokens[pair]; busy {
 				skipped = append(skipped, j)
 				continue
 			}
@@ -410,9 +650,80 @@ func (s *Scheduler) popRunnableLocked() *job {
 		break
 	}
 	for _, j := range skipped {
-		heap.Push(&s.pending, j)
+		heap.Push(&sh.pending, j)
+	}
+	if picked != nil {
+		if pair := picked.Spec.ServerPair; pair != "" {
+			sh.tokens[pair] = picked.ID
+		}
+		picked.claiming = true
 	}
 	return picked
+}
+
+// unreserve returns a losing claim candidate to its shard's queue,
+// releasing the pair reservation — unless an operator canceled it while
+// it was in flight, in which case the cancel lands now.
+func (s *Scheduler) unreserve(j *job) {
+	sh := j.shard
+	var rec record
+	var canceled bool
+	sh.mu.Lock()
+	if pair := j.Spec.ServerPair; pair != "" {
+		delete(sh.tokens, pair)
+	}
+	j.claiming = false
+	if j.userCancel {
+		s.queued.Add(-1)
+		rec = s.finishLocked(j, StateCanceled, nil, "")
+		canceled = true
+	} else {
+		heap.Push(&sh.pending, j)
+	}
+	sh.mu.Unlock()
+	if canceled {
+		s.journalTerminal(rec)
+		return
+	}
+	s.signalReady()
+}
+
+// run finalizes a claim — state, accounting, attempt context — and
+// executes one attempt.
+func (s *Scheduler) run(j *job) {
+	sh := j.shard
+	sh.mu.Lock()
+	j.claiming = false
+	if j.userCancel {
+		// Canceled during the claim scan: release the reservation and
+		// finish without running.
+		if pair := j.Spec.ServerPair; pair != "" {
+			delete(sh.tokens, pair)
+		}
+		s.queued.Add(-1)
+		rec := s.finishLocked(j, StateCanceled, nil, "")
+		sh.mu.Unlock()
+		s.journalTerminal(rec)
+		return
+	}
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = s.clk.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	enqueuedAt := j.enqueuedAt
+	sh.mu.Unlock()
+
+	s.queued.Add(-1)
+	s.c.latencyTotalNs.Add(int64(j.StartedAt.Sub(enqueuedAt)))
+	s.c.latencyCount.Add(1)
+	s.c.running.Add(1)
+	backend := s.opts.Backends[j.Spec.Backend]
+	deadline := j.Spec.Deadline
+	if deadline <= 0 {
+		deadline = s.opts.DefaultDeadline
+	}
+	s.execute(j, ctx, cancel, backend, deadline)
 }
 
 // execute runs one attempt under a clock-driven deadline and routes the
@@ -456,30 +767,34 @@ func runBackend(ctx context.Context, b Backend, spec Spec) (res *Result, err err
 }
 
 // complete applies one attempt's outcome: success, operator cancel,
-// shutdown interruption, retry scheduling, or terminal failure.
+// shutdown interruption, retry scheduling, or terminal failure. The
+// shard lock covers only the state transition; the terminal journal
+// append happens after it is released.
 func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := j.shard
+	var rec record
+	var terminal, pairFreed bool
+	sh.mu.Lock()
 	if pair := j.Spec.ServerPair; pair != "" {
-		delete(s.tokens, pair)
+		delete(sh.tokens, pair)
+		pairFreed = sh.pending.Len() > 0
 	}
 	j.cancel = nil
 	j.runs++
-	s.c.running--
 
 	switch {
 	case err == nil:
 		sec := s.clk.Now().Sub(j.StartedAt).Seconds()
-		s.c.svcCount++
-		s.c.svcTotalSec += sec
-		s.c.svcTotalSqSec += sec * sec
+		s.c.svcCount.Add(1)
+		s.c.svcTotalSec.Add(sec)
+		s.c.svcTotalSqSec.Add(sec * sec)
 		j.Result = res
-		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
-		s.finishLocked(j, StateDone, res, "")
+		rec = s.finishLocked(j, StateDone, res, "")
+		terminal = true
 	case j.userCancel:
-		//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
-		s.finishLocked(j, StateCanceled, nil, "")
-	case s.closed:
+		rec = s.finishLocked(j, StateCanceled, nil, "")
+		terminal = true
+	case s.closed.Load():
 		// Shutdown interrupted the attempt: leave the job non-terminal so
 		// the journal resumes it in the next process.
 		j.State = StateQueued
@@ -493,52 +808,67 @@ func (s *Scheduler) complete(j *job, res *Result, err error, overran bool) {
 			maxAttempts = s.opts.Retry.MaxAttempts
 		}
 		if j.Attempts >= maxAttempts {
-			//lint:ignore lockheld terminal-state journal write stays under s.mu to serialize with admission
-			s.finishLocked(j, StateFailed, nil, j.Error)
+			rec = s.finishLocked(j, StateFailed, nil, j.Error)
+			terminal = true
 			break
 		}
 		// Schedule the retry: capped exponential backoff, jitter from the
 		// job's seeded generator.
-		d := s.opts.Retry.delay(j.Attempts, j.rng)
+		d := s.opts.Retry.delay(j.Attempts, j.jitterRNG())
 		j.State = StateWaitRetry
 		j.RetryAt = s.clk.Now().Add(d)
-		s.c.retried++
-		s.c.waitRetry++
+		s.c.retried.Add(1)
+		s.c.waitRetry.Add(1)
 		t := s.clk.NewTimer(d)
 		j.retryTimer = t
 		s.wg.Add(1)
 		go s.awaitRetry(j, t)
 	}
-	s.cond.Broadcast() // a token freed or a slot opened
+	sh.mu.Unlock()
+
+	s.c.running.Add(-1)
+	if terminal {
+		s.journalTerminal(rec)
+	}
+	if pairFreed {
+		// The freed pair may unblock a same-pair sibling (same shard by
+		// construction): post a wakeup.
+		s.signalReady()
+	}
 }
 
-// finishLocked moves a job into a terminal state and journals it. The
-// journal append is duplicate-safe: recovery keeps the first terminal
-// record per job and counts the rest.
-func (s *Scheduler) finishLocked(j *job, st State, res *Result, errMsg string) {
+// finishLocked moves a job into a terminal state and returns the journal
+// record describing it. Callers hold the job's shard lock and append the
+// record after releasing it.
+func (s *Scheduler) finishLocked(j *job, st State, res *Result, errMsg string) record {
 	j.State = st
 	j.FinishedAt = s.clk.Now()
 	j.RetryAt = time.Time{}
-	var rec record
 	switch st {
 	case StateDone:
-		s.c.done++
-		rec = record{Op: recDone, ID: j.ID, Result: res}
+		s.c.done.Add(1)
+		return record{Op: recDone, ID: j.ID, Result: res}
 	case StateFailed:
-		s.c.failed++
-		rec = record{Op: recFail, ID: j.ID, Error: errMsg}
-	case StateCanceled:
-		s.c.canceled++
-		rec = record{Op: recCancel, ID: j.ID}
+		s.c.failed.Add(1)
+		return record{Op: recFail, ID: j.ID, Error: errMsg}
+	default:
+		s.c.canceled.Add(1)
+		return record{Op: recCancel, ID: j.ID}
 	}
-	if s.journal != nil {
-		if err := s.journal.Append(rec); err == nil {
-			s.c.journalAppends++
-		}
-		// An append failure is not fatal: the in-memory state is
-		// authoritative for this process; the next process will re-run
-		// the job, which exactly-once semantics tolerate in the
-		// crash-before-append case anyway.
+}
+
+// journalTerminal appends a terminal record through the group-commit
+// pipeline. The append is duplicate-safe (recovery keeps the first
+// terminal record per job) and its failure is not fatal: the in-memory
+// state is authoritative for this process, and the next process re-runs
+// the job — which exactly-once semantics tolerate in the
+// crash-before-append case anyway.
+func (s *Scheduler) journalTerminal(rec record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err == nil {
+		s.c.journalAppends.Add(1)
 	}
 }
 
@@ -551,16 +881,19 @@ func (s *Scheduler) awaitRetry(j *job, t clock.Timer) {
 	case <-s.stop:
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed || j.State != StateWaitRetry {
+	sh := j.shard
+	sh.mu.Lock()
+	if s.closed.Load() || j.State != StateWaitRetry {
+		sh.mu.Unlock()
 		return
 	}
 	j.State = StateQueued
 	j.RetryAt = time.Time{}
 	j.retryTimer = nil
 	j.enqueuedAt = s.clk.Now()
-	s.c.waitRetry--
-	heap.Push(&s.pending, j)
-	s.cond.Signal()
+	heap.Push(&sh.pending, j)
+	sh.mu.Unlock()
+	s.c.waitRetry.Add(-1)
+	s.queued.Add(1)
+	s.signalReady()
 }

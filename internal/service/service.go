@@ -71,6 +71,10 @@ const (
 	BackendSim = "sim"
 	// BackendTestbed runs a real-socket session via internal/testbed.
 	BackendTestbed = "testbed"
+	// BackendNull completes instantly with a fixed result. It exists to
+	// load-test the control plane itself — admission, journal, scheduler,
+	// HTTP — with the measurement cost zeroed out.
+	BackendNull = "null"
 )
 
 // Spec describes one measurement job. It is immutable after submission
