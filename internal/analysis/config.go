@@ -47,6 +47,7 @@ func DefaultConfig() *Config {
 		DetRandScope: []string{
 			"internal/core",
 			"internal/experiments",
+			"internal/fleet",
 			"internal/isp",
 			"internal/measure",
 			"internal/netsim",
@@ -66,6 +67,7 @@ func DefaultConfig() *Config {
 		WalltimeScope: []string{
 			"internal/core",
 			"internal/experiments",
+			"internal/fleet",
 			"internal/isp",
 			"internal/measure",
 			"internal/netsim",

@@ -159,6 +159,22 @@ func TestServiceDetRandViolation(t *testing.T) {
 	runFixture(t, AnalyzerDetRand, "internal/service", "service_detrand.go")
 }
 
+// Fleet layer: internal/fleet sits inside DetRandScope and outside
+// WalltimeAllow. The follower's sanctioned patterns — injected clock
+// timers, count-pure posteriors — pass both analyzers clean, and the
+// matching violations are caught.
+func TestFleetCleanUnderWalltime(t *testing.T) {
+	runFixtureExpectClean(t, AnalyzerWalltime, "internal/fleet", "fleet_clean.go")
+}
+
+func TestFleetCleanUnderDetRand(t *testing.T) {
+	runFixtureExpectClean(t, AnalyzerDetRand, "internal/fleet", "fleet_clean.go")
+}
+
+func TestFleetDetRandViolation(t *testing.T) {
+	runFixture(t, AnalyzerDetRand, "internal/fleet", "fleet_detrand.go")
+}
+
 func TestMapOrderFixture(t *testing.T) {
 	runFixture(t, AnalyzerMapOrder, "internal/experiments", "maporder.go")
 }

@@ -1,0 +1,17 @@
+// Fixture for the fleet-layer detrand gate, checked as if under
+// internal/fleet: aggregation must stay a pure function of the verdict
+// multiset — no sampling from the global source, no wall-clock seeds.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func thinningViolation(pos, neg int64) bool {
+	return rand.Float64() < float64(1+pos)/float64(2+pos+neg) // want "global rand.Float64"
+}
+
+func shardSeedViolation() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

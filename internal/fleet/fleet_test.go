@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nal-epfl/wehey/internal/service"
+	"github.com/nal-epfl/wehey/internal/tomo"
+)
+
+func TestPosteriorMath(t *testing.T) {
+	var p Posterior
+	if got := p.Mean(); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("prior mean = %v, want 0.5", got)
+	}
+	p.Observe(true)
+	if got := p.Mean(); math.Abs(got-2.0/3) > 1e-15 {
+		t.Errorf("mean after one positive = %v, want 2/3", got)
+	}
+	for i := 0; i < 99; i++ {
+		p.Observe(true)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(false)
+	}
+	if got := p.Mean(); math.Abs(got-101.0/202) > 1e-15 {
+		t.Errorf("mean after 100/100 = %v, want 101/202", got)
+	}
+	if p.N() != 200 {
+		t.Errorf("N = %d, want 200", p.N())
+	}
+	m := Posterior{Pos: 3, Neg: 1}.Merge(Posterior{Pos: 2, Neg: 4})
+	if m != (Posterior{Pos: 5, Neg: 5}) {
+		t.Errorf("merge = %+v", m)
+	}
+}
+
+// TestAggregatorOrderAndShardInvariance is the merge-determinism core:
+// the same verdict multiset fed in shuffled orders, through different
+// shard counts, merged in different orders, must render byte-identical
+// snapshots.
+func TestAggregatorOrderAndShardInvariance(t *testing.T) {
+	type obs struct {
+		cell Cell
+		loc  bool
+	}
+	rng := rand.New(rand.NewSource(11))
+	var verdicts []obs
+	for i := 0; i < 5000; i++ {
+		verdicts = append(verdicts, obs{
+			cell: Cell{ISP: rng.Intn(12), App: []string{"tcpbulk", "zoom"}[rng.Intn(2)]},
+			loc:  rng.Intn(3) == 0,
+		})
+	}
+	ident := []tomo.SegmentIdent{{ID: ISPSegment(5)}} // one unidentifiable ISP in play
+
+	reference := NewAggregator()
+	for _, v := range verdicts {
+		reference.Observe(v.cell, v.loc)
+	}
+	want, err := reference.Snapshot(ident).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]obs(nil), verdicts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		shards := 1 + rng.Intn(8)
+		aggs := make([]*Aggregator, shards)
+		for i := range aggs {
+			aggs[i] = NewAggregator()
+		}
+		for i, v := range shuffled {
+			aggs[i%shards].Observe(v.cell, v.loc)
+		}
+		// Merge in a shuffled order too.
+		order := rng.Perm(shards)
+		merged := NewAggregator()
+		for _, i := range order {
+			merged.Merge(aggs[i])
+		}
+		got, err := merged.Snapshot(ident).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (%d shards): snapshot differs from reference", trial, shards)
+		}
+	}
+}
+
+// TestSnapshotGatesUnidentifiable: a cell whose ISP the path matrix
+// cannot blame keeps its raw counts but gets no posterior.
+func TestSnapshotGatesUnidentifiable(t *testing.T) {
+	a := NewAggregator()
+	for i := 0; i < 10; i++ {
+		a.Observe(Cell{ISP: 1, App: "tcpbulk"}, true)
+		a.Observe(Cell{ISP: 2, App: "tcpbulk"}, true)
+	}
+	ident := []tomo.SegmentIdent{
+		{ID: ISPSegment(1), Paths: 3, Observed: true, Identifiable: true},
+		{ID: ISPSegment(2), Paths: 3, Observed: true, Identifiable: false, ConfusedWith: []string{"transit-0"}},
+		{ID: ISPSegment(3), Observed: false},
+	}
+	m := a.Snapshot(ident)
+	if len(m.Entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(m.Entries))
+	}
+	e1, e2 := m.Entries[0], m.Entries[1]
+	if !e1.Identifiable || e1.Posterior < 0.9 {
+		t.Errorf("identifiable cell = %+v; want scored", e1)
+	}
+	if e2.Identifiable || e2.Posterior > 0 {
+		t.Errorf("confused cell = %+v; want unscored with raw counts", e2)
+	}
+	if e2.Sessions != 10 || e2.Localized != 10 {
+		t.Errorf("confused cell lost its counts: %+v", e2)
+	}
+	if len(m.Unidentifiable) != 2 {
+		t.Errorf("Unidentifiable = %v; want isp-2 and isp-3", m.Unidentifiable)
+	}
+}
+
+// TestObserveJobFiltering: only done jobs with fleet attribution and a
+// result are credited.
+func TestObserveJobFiltering(t *testing.T) {
+	meta := &service.FleetMeta{Campaign: "c", Session: 0, ISP: 4, Server: 1}
+	sim := &service.SimJob{App: "tcpbulk"}
+	res := &service.Result{LocalizedToISP: true}
+	cases := []struct {
+		name string
+		job  service.Job
+		want bool
+	}{
+		{"done+fleet", service.Job{State: service.StateDone, Spec: service.Spec{Fleet: meta, Sim: sim}, Result: res}, true},
+		{"failed", service.Job{State: service.StateFailed, Spec: service.Spec{Fleet: meta, Sim: sim}}, false},
+		{"canceled", service.Job{State: service.StateCanceled, Spec: service.Spec{Fleet: meta, Sim: sim}}, false},
+		{"no fleet meta", service.Job{State: service.StateDone, Spec: service.Spec{Sim: sim}, Result: res}, false},
+		{"no result", service.Job{State: service.StateDone, Spec: service.Spec{Fleet: meta, Sim: sim}}, false},
+	}
+	for _, tc := range cases {
+		a := NewAggregator()
+		if got := a.ObserveJob(tc.job); got != tc.want {
+			t.Errorf("%s: credited=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/experiments"
+	"github.com/nal-epfl/wehey/internal/service"
+)
+
+// TestFollowerMatchesDirectEval is the two-path equivalence core: a
+// campaign driven through a live scheduler (HTTP submit, sim backend,
+// follower aggregation over paged /jobs + status batches) must render
+// the exact map bytes the in-process evaluation renders — same verdicts,
+// same counts, same JSON.
+func TestFollowerMatchesDirectEval(t *testing.T) {
+	c := NewCampaign("equiv", experiments.FleetCampaignSpec{
+		ISPs: 4, Servers: 2, ThrottledISPs: []int{1}, StarvedISPs: []int{2},
+		Sessions: 24, SeedPool: 2, Duration: 12 * time.Second, Seed: 5,
+	})
+	cache := experiments.NewSimCache()
+
+	// Service path: real scheduler, sim backend over the shared cache.
+	s, err := service.NewScheduler(service.Options{
+		Workers:    4,
+		QueueLimit: 256,
+		Backends: map[string]service.Backend{
+			service.BackendSim: service.NewSimBackend(cache),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Start()
+	srv := httptest.NewServer(service.Handler(s))
+	t.Cleanup(srv.Close)
+	client := &service.Client{BaseURL: srv.URL}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	jobs, err := client.SubmitBatch(ctx, c.JobSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 24 {
+		t.Fatalf("submitted %d jobs, want 24", len(jobs))
+	}
+
+	f := &Follower{Client: client, Campaign: "equiv", Poll: 5 * time.Millisecond}
+	if err := f.Follow(ctx, int64(len(jobs))); err != nil {
+		t.Fatal(err)
+	}
+	stats := f.Stats()
+	if stats.Credited != 24 || stats.Pending != 0 {
+		t.Fatalf("follower stats = %+v; want 24 credited, 0 pending", stats)
+	}
+	if stats.Pages == 0 {
+		t.Error("follower fetched no pages")
+	}
+
+	ident := c.PathMatrix().Identify()
+	viaService, err := f.Agg.Snapshot(ident).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct path: same campaign, same cache, no service.
+	direct, err := c.Eval(experiments.Config{Cache: cache}).Snapshot(ident).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaService, direct) {
+		t.Errorf("service-path map differs from direct evaluation:\nservice: %s\ndirect:  %s", viaService, direct)
+	}
+}
+
+// TestFollowerIncrementalCursor: a second Follow call after more
+// submissions must only page the new tail (the cursor advanced), and
+// FromJobs over the full listing reproduces the same aggregate.
+func TestFollowerIncrementalCursor(t *testing.T) {
+	c := NewCampaign("inc", experiments.FleetCampaignSpec{
+		ISPs: 2, Servers: 1, ThrottledISPs: []int{0}, Sessions: 8,
+		SeedPool: 2, Duration: 12 * time.Second, Seed: 9,
+	})
+	cache := experiments.NewSimCache()
+	s, err := service.NewScheduler(service.Options{
+		Workers: 2,
+		Backends: map[string]service.Backend{
+			service.BackendSim: service.NewSimBackend(cache),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Start()
+	srv := httptest.NewServer(service.Handler(s))
+	t.Cleanup(srv.Close)
+	client := &service.Client{BaseURL: srv.URL}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	specs := c.JobSpecs()
+	f := &Follower{Client: client, Campaign: "inc", Poll: 5 * time.Millisecond}
+
+	if _, err := client.SubmitBatch(ctx, specs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Follow(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	pagesAfterFirst := f.Stats().Pages
+
+	if _, err := client.SubmitBatch(ctx, specs[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Follow(ctx, int64(len(specs))); err != nil {
+		t.Fatal(err)
+	}
+	stats := f.Stats()
+	if stats.Credited != int64(len(specs)) {
+		t.Fatalf("credited %d, want %d", stats.Credited, len(specs))
+	}
+	if stats.Pages <= pagesAfterFirst {
+		t.Error("second Follow fetched no pages")
+	}
+
+	// One-shot inference over the full listing agrees with the stream.
+	all, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot := NewAggregator()
+	if n := FromJobs(oneShot, "inc", all); n != int64(len(specs)) {
+		t.Fatalf("FromJobs credited %d, want %d", n, len(specs))
+	}
+	a, _ := f.Agg.Snapshot(nil).MarshalIndent()
+	b, _ := oneShot.Snapshot(nil).MarshalIndent()
+	if !bytes.Equal(a, b) {
+		t.Error("streamed and one-shot aggregates differ")
+	}
+}

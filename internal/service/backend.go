@@ -8,7 +8,6 @@ import (
 	"time"
 
 	wehey "github.com/nal-epfl/wehey"
-	"github.com/nal-epfl/wehey/internal/core"
 	"github.com/nal-epfl/wehey/internal/experiments"
 	"github.com/nal-epfl/wehey/internal/measure"
 	"github.com/nal-epfl/wehey/internal/simcache"
@@ -77,16 +76,17 @@ func (b *SimBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := b.cache.Run(simSpec)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	rng := rand.New(rand.NewSource(jobSeed("sim-detect", spec.Seed)))
-	det, err := core.DetectCommonBottleneck(rng,
-		core.DetectorInput{M1: &res.M1, M2: &res.M2}, core.DetectorConfig{})
+	// The verdict path is shared with internal/fleet's direct harness
+	// (experiments.Config.Verdict seeds its detector with
+	// DetectSeed(spec.Seed) == jobSeed("sim-detect", spec.Seed)), so a
+	// fleet campaign evaluated in-process and one driven through this
+	// backend report bit-identical verdicts per spec.
+	v, err := experiments.Config{Cache: b.cache}.Verdict(simSpec)
 	if err != nil {
 		return nil, fmt.Errorf("service: sim detection: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Backend: BackendSim,
@@ -94,11 +94,11 @@ func (b *SimBackend) Run(ctx context.Context, spec Spec) (*Result, error) {
 		// verdict and the simultaneous confirmation hold by construction.
 		WeHeDetected:   true,
 		Confirmed:      true,
-		LocalizedToISP: det.Evidence.Found(),
-		Evidence:       det.Evidence.String(),
-		LossRates:      res.LossRate,
+		LocalizedToISP: v.LocalizedToISP,
+		Evidence:       v.Evidence,
+		LossRates:      v.LossRate,
 		Detail: fmt.Sprintf("sim %s placement=%s loss=%.3f/%.3f",
-			simSpec.App, placement, res.LossRate[0], res.LossRate[1]),
+			simSpec.App, placement, v.LossRate[0], v.LossRate[1]),
 	}, nil
 }
 

@@ -30,10 +30,13 @@ import (
 // /jobs responses are plain arrays capped at the page limit; clients page
 // by passing the last seen job ID as `after` until a short page arrives.
 
-// listLimitMax caps one GET /jobs page. It doubles as the default, so a
+// ListLimitMax caps one GET /jobs page. It doubles as the default, so a
 // bare GET /jobs on a huge campaign returns a bounded page instead of
-// buffering the full set.
-const listLimitMax = 1000
+// buffering the full set. Exported so streaming consumers (the fleet
+// follower) can recognize a short — therefore final — page.
+const ListLimitMax = 1000
+
+const listLimitMax = ListLimitMax
 
 // BatchRequest is the POST /jobs:batch body.
 type BatchRequest struct {

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/nal-epfl/wehey/internal/clock"
+)
+
+// TestLoadJournalJobs: the read-only loader reconstructs the same job
+// snapshots scheduler recovery would, without mutating the file.
+func TestLoadJournalJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wj")
+	b := newStubBackend()
+	b.fail = func(seed int64, attempt int) error {
+		if seed == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	}
+	s, err := NewScheduler(Options{
+		Workers:     1,
+		JournalPath: path,
+		Clock:       clock.NewManual(time.Unix(1700000000, 0)),
+		Backends:    map[string]Backend{"stub": b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	specs := []Spec{stubSpec(1), stubSpec(2), stubSpec(3)}
+	for i := range specs {
+		specs[i].MaxAttempts = 1 // no retries: the failure is terminal at once
+	}
+	specs[0].Fleet = &FleetMeta{Campaign: "c1", Session: 7, ISP: 3, Server: 1}
+	jobs, err := s.SubmitBatch(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, jobs[0].ID, StateDone)
+	waitState(t, s, jobs[1].ID, StateFailed)
+	waitState(t, s, jobs[2].ID, StateDone)
+	s.Close()
+
+	loaded, err := LoadJournalJobs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded %d jobs, want 3", len(loaded))
+	}
+	if got := loaded[0]; got.State != StateDone || got.Result == nil ||
+		got.Spec.Fleet == nil || got.Spec.Fleet.Session != 7 || got.Spec.Fleet.ISP != 3 {
+		t.Errorf("job 1 = %+v; want done with fleet meta intact", got)
+	}
+	if loaded[1].State != StateFailed || loaded[1].Error == "" {
+		t.Errorf("job 2 = %+v; want failed with error", loaded[1])
+	}
+	// Loading again is idempotent — the file was not compacted or touched.
+	again, err := LoadJournalJobs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(loaded) {
+		t.Errorf("second load differs: %d vs %d jobs", len(again), len(loaded))
+	}
+}

@@ -147,6 +147,13 @@ type counters struct {
 	journalDroppedBytes                                  atomic.Int64
 	journalDupTerminals                                  atomic.Int64
 
+	// Shard-scheduler visibility: claimScans counts full claim() sweeps
+	// (one per worker wakeup that found the queue non-empty candidates),
+	// claimPairSkips counts jobs passed over because their server pair's
+	// token was held — the contention the pair-serialization rule costs.
+	claimScans     atomic.Int64
+	claimPairSkips atomic.Int64
+
 	// Service-time moment accumulators over successful attempts
 	// (started→done on the scheduler clock). They feed the M/G/c capacity
 	// model behind GET /twin: count, Σs, and Σs² give the empirical mean
@@ -600,6 +607,7 @@ func (s *Scheduler) worker() {
 // reservation is what keeps pair exclusivity airtight across concurrent
 // scans: a candidate's pair is held from the moment it leaves its heap.
 func (s *Scheduler) claim() *job {
+	s.c.claimScans.Add(1)
 	n := len(s.shards)
 	start := int(s.rr.Add(1)) % n
 	var best *job
@@ -642,6 +650,7 @@ func (s *Scheduler) takeRunnable(sh *shard) *job {
 		j := heap.Pop(&sh.pending).(*job)
 		if pair := j.Spec.ServerPair; pair != "" {
 			if _, busy := sh.tokens[pair]; busy {
+				s.c.claimPairSkips.Add(1)
 				skipped = append(skipped, j)
 				continue
 			}

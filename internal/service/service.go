@@ -103,6 +103,25 @@ type Spec struct {
 	Sim *SimJob `json:"sim,omitempty"`
 	// Testbed parameterizes the "testbed" backend.
 	Testbed *TestbedJob `json:"testbed,omitempty"`
+	// Fleet attributes the job to a fleet-inference session (optional).
+	// The service schedules and runs the job exactly as without it; the
+	// aggregation layer (internal/fleet, wehey-map) reads it back from the
+	// job stream to credit the result to the right network segment.
+	Fleet *FleetMeta `json:"fleet,omitempty"`
+}
+
+// FleetMeta ties a job to its position in a fleet campaign: which planned
+// session it is and which access ISP / server site the session runs
+// through. It is opaque to the scheduler and backends.
+type FleetMeta struct {
+	// Campaign names the campaign the session belongs to.
+	Campaign string `json:"campaign,omitempty"`
+	// Session is the session's index in the campaign plan.
+	Session int `json:"session"`
+	// ISP is the access ISP index the session runs through.
+	ISP int `json:"isp"`
+	// Server is the server-site index the session measures against.
+	Server int `json:"server"`
 }
 
 // SimJob parameterizes a simulation-backed localization trial (a SimSpec
@@ -219,6 +238,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.MaxAttempts < 0 {
 		return errors.New("service: negative max attempts")
+	}
+	if f := s.Fleet; f != nil && (f.Session < 0 || f.ISP < 0 || f.Server < 0) {
+		return errors.New("service: negative fleet session attribution")
 	}
 	return nil
 }

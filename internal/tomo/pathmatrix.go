@@ -1,0 +1,148 @@
+package tomo
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file generalizes System 1 from the fixed two-path topology of
+// Figure 1 to the fleet's many-path setting. In the two-path system the
+// three link sequences l_c, l_1, l_2 are solvable precisely because their
+// path-incidence columns — {p1,p2}, {p1}, {p2} — are pairwise distinct:
+// each unknown x is pinned by a distinct combination of observed path
+// equations. With N paths over M candidate segments the same criterion
+// decides *identifiability* before any measurement arrives: a segment
+// whose column equals another segment's column contributes to every
+// observation identically, so no amount of data can attribute blame
+// between the two (cf. "Network Capability in Localizing Node Failures",
+// PAPERS.md); a segment crossed by no path at all is unobservable outright.
+//
+// The fleet aggregation layer (internal/fleet) runs this pass over the
+// synthetic-Internet path sets to report "unidentifiable" instead of a
+// false posterior for networks the campaign's path matrix cannot separate.
+
+// PathMatrix is the boolean incidence of observed measurement paths
+// (rows) over candidate network segments (columns). Duplicate paths —
+// millions of sessions riding the same route — collapse onto one row, so
+// the matrix stays bounded by the number of *distinct* routes.
+type PathMatrix struct {
+	pathIdx map[string]int   // canonical path key -> row index
+	segs    map[string][]int // segment ID -> sorted distinct row indices
+}
+
+// NewPathMatrix returns an empty matrix.
+func NewPathMatrix() *PathMatrix {
+	return &PathMatrix{
+		pathIdx: make(map[string]int),
+		segs:    make(map[string][]int),
+	}
+}
+
+// AddSegment declares a candidate segment even if no path crosses it, so
+// the identifiability report can call out path-starved networks instead
+// of silently omitting them.
+func (m *PathMatrix) AddSegment(id string) {
+	if _, ok := m.segs[id]; !ok {
+		m.segs[id] = nil
+	}
+}
+
+// AddPath records one observed path as the set of segments it traverses.
+// Segment order and duplicates within the path are irrelevant; adding the
+// same segment set again is a no-op (the route is already a row).
+func (m *PathMatrix) AddPath(segments []string) {
+	if len(segments) == 0 {
+		return
+	}
+	uniq := append([]string(nil), segments...)
+	sort.Strings(uniq)
+	k := 0
+	for i, s := range uniq {
+		if i == 0 || s != uniq[k-1] {
+			uniq[k] = s
+			k++
+		}
+	}
+	uniq = uniq[:k]
+	key := strings.Join(uniq, "\x00")
+	if _, seen := m.pathIdx[key]; seen {
+		return
+	}
+	row := len(m.pathIdx)
+	m.pathIdx[key] = row
+	for _, s := range uniq {
+		m.segs[s] = append(m.segs[s], row)
+	}
+}
+
+// Paths reports the number of distinct routes recorded.
+func (m *PathMatrix) Paths() int { return len(m.pathIdx) }
+
+// Segments reports the number of candidate segments (observed or declared).
+func (m *PathMatrix) Segments() int { return len(m.segs) }
+
+// SegmentIdent is one segment's entry in the identifiability report.
+type SegmentIdent struct {
+	// ID names the segment.
+	ID string `json:"id"`
+	// Paths is the number of distinct routes crossing the segment.
+	Paths int `json:"paths"`
+	// Observed: at least one route crosses the segment.
+	Observed bool `json:"observed"`
+	// Identifiable: the segment is observed and no other segment shares
+	// its exact route set — the many-path System 1 can attribute blame to
+	// it alone.
+	Identifiable bool `json:"identifiable"`
+	// ConfusedWith lists the segments with an identical route set (sorted;
+	// empty when identifiable or simply unobserved alone).
+	ConfusedWith []string `json:"confused_with,omitempty"`
+}
+
+// Identify computes the per-segment identifiability report, sorted by
+// segment ID. The result is invariant to the order paths were added: row
+// indices relabel under reordering, but column-set equality — the only
+// thing the report depends on — does not.
+func (m *PathMatrix) Identify() []SegmentIdent {
+	ids := make([]string, 0, len(m.segs))
+	for id := range m.segs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Group segments by column signature. Rows were appended in path
+	// insertion order per segment, so each column is already sorted.
+	groups := make(map[string][]string, len(ids))
+	sigOf := make(map[string]string, len(ids))
+	for _, id := range ids {
+		var sb strings.Builder
+		for _, row := range m.segs[id] {
+			sb.WriteString(strconv.Itoa(row))
+			sb.WriteByte(',')
+		}
+		sig := sb.String()
+		sigOf[id] = sig
+		groups[sig] = append(groups[sig], id)
+	}
+
+	out := make([]SegmentIdent, 0, len(ids))
+	for _, id := range ids {
+		col := m.segs[id]
+		group := groups[sigOf[id]]
+		ent := SegmentIdent{
+			ID:       id,
+			Paths:    len(col),
+			Observed: len(col) > 0,
+		}
+		ent.Identifiable = ent.Observed && len(group) == 1
+		if len(group) > 1 {
+			for _, other := range group {
+				if other != id {
+					ent.ConfusedWith = append(ent.ConfusedWith, other)
+				}
+			}
+		}
+		out = append(out, ent)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package tomo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func identByID(t *testing.T, idents []SegmentIdent, id string) SegmentIdent {
+	t.Helper()
+	for _, e := range idents {
+		if e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("segment %q missing from report", id)
+	return SegmentIdent{}
+}
+
+// TestPathMatrixSystem1 encodes the paper's Figure 1 topology: two paths
+// sharing l_c, with non-common l_1 and l_2. All three columns are
+// distinct, matching System 1's closed-form solvability.
+func TestPathMatrixSystem1(t *testing.T) {
+	m := NewPathMatrix()
+	m.AddPath([]string{"lc", "l1"})
+	m.AddPath([]string{"lc", "l2"})
+	if m.Paths() != 2 || m.Segments() != 3 {
+		t.Fatalf("got %d paths, %d segments; want 2, 3", m.Paths(), m.Segments())
+	}
+	for _, id := range []string{"lc", "l1", "l2"} {
+		e := identByID(t, m.Identify(), id)
+		if !e.Observed || !e.Identifiable || len(e.ConfusedWith) != 0 {
+			t.Errorf("%s: got %+v; want observed, identifiable, unconfused", id, e)
+		}
+	}
+}
+
+// TestPathMatrixConfusion: two segments always traversed together are
+// mutually confused; a segment crossed by no path is unobserved.
+func TestPathMatrixConfusion(t *testing.T) {
+	m := NewPathMatrix()
+	m.AddPath([]string{"a", "b", "x"})
+	m.AddPath([]string{"a", "b", "y"})
+	m.AddSegment("starved")
+
+	idents := m.Identify()
+	a := identByID(t, idents, "a")
+	b := identByID(t, idents, "b")
+	if a.Identifiable || b.Identifiable {
+		t.Errorf("a/b should be confused: %+v %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.ConfusedWith, []string{"b"}) || !reflect.DeepEqual(b.ConfusedWith, []string{"a"}) {
+		t.Errorf("confusion sets wrong: a=%v b=%v", a.ConfusedWith, b.ConfusedWith)
+	}
+	s := identByID(t, idents, "starved")
+	if s.Observed || s.Identifiable || s.Paths != 0 {
+		t.Errorf("starved segment: got %+v; want unobserved", s)
+	}
+	for _, id := range []string{"x", "y"} {
+		if e := identByID(t, idents, id); !e.Identifiable {
+			t.Errorf("%s: got %+v; want identifiable", id, e)
+		}
+	}
+}
+
+// Two unobserved segments share the empty column and are reported as
+// confused with each other — neither can be blamed.
+func TestPathMatrixTwoStarved(t *testing.T) {
+	m := NewPathMatrix()
+	m.AddPath([]string{"a"})
+	m.AddSegment("s1")
+	m.AddSegment("s2")
+	idents := m.Identify()
+	s1 := identByID(t, idents, "s1")
+	if s1.Identifiable || !reflect.DeepEqual(s1.ConfusedWith, []string{"s2"}) {
+		t.Errorf("s1: got %+v; want confused with s2", s1)
+	}
+}
+
+// TestPathMatrixDuplicatesCollapse: re-adding a route (in any segment
+// order) does not create a new row or perturb the report.
+func TestPathMatrixDuplicatesCollapse(t *testing.T) {
+	m := NewPathMatrix()
+	m.AddPath([]string{"a", "b"})
+	m.AddPath([]string{"b", "a"})
+	m.AddPath([]string{"a", "b", "a"})
+	if m.Paths() != 1 {
+		t.Fatalf("got %d paths; want 1", m.Paths())
+	}
+}
+
+// TestPathMatrixOrderInvariant: the report is identical no matter the
+// order paths arrive in, as required for shard-parallel fleet aggregation.
+func TestPathMatrixOrderInvariant(t *testing.T) {
+	paths := [][]string{
+		{"ispA", "core1", "srv1"},
+		{"ispA", "core2", "srv2"},
+		{"ispB", "core1", "srv1"},
+		{"ispB", "core2", "srv3"},
+		{"ispC", "core2", "srv3"},
+	}
+	base := NewPathMatrix()
+	for _, p := range paths {
+		base.AddPath(p)
+	}
+	want := base.Identify()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([][]string(nil), paths...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		m := NewPathMatrix()
+		for _, p := range shuffled {
+			m.AddPath(p)
+		}
+		if got := m.Identify(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: report differs under reordering:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+	}
+}

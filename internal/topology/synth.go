@@ -66,6 +66,14 @@ func (s *SynthSpec) fill() {
 	}
 }
 
+// Filled returns a copy of the spec with defaults applied, so other
+// packages (internal/fleet's identifiability pass) can derive path sets
+// from the same topology parameters Synthesize would use.
+func (s SynthSpec) Filled() SynthSpec {
+	s.fill()
+	return s
+}
+
 // Client is one synthetic client with its ground truth.
 type Client struct {
 	IP  string
